@@ -1,0 +1,94 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+ABL1 -- exact telescoping (Theorem 1) vs. per-hop summation (Theorem 4)
+on identical SPP systems: quantifies how much tightness the paper's exact
+method buys over the decomposed bound, per stage count.
+
+ABL2 -- adaptive-horizon policy: cost of demanding bound stability across
+a doubling (``require_convergence``) vs. accepting the first drained
+horizon.
+
+Results (tightness ratios, horizon rounds) are written to
+``benchmarks/results/ablations.txt``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import HorizonConfig, SppApproxAnalysis, SppExactAnalysis
+from repro.model import System, assign_priorities_proportional_deadline
+from repro.workloads import ShopTopology, generate_periodic_jobset
+
+from conftest import write_result
+
+_lines = []
+
+
+def _systems(stages: int, n: int = 8):
+    rng = np.random.default_rng(100 + stages)
+    out = []
+    for _ in range(n):
+        js = generate_periodic_jobset(
+            ShopTopology(stages, 2), 4, 0.5, 4.0, rng,
+            x_range=(0.1, 1.0), normalization="exact",
+        )
+        sys_ = System(js, "spp")
+        assign_priorities_proportional_deadline(sys_)
+        out.append(sys_)
+    return out
+
+
+@pytest.mark.parametrize("stages", [1, 2, 4])
+def test_ablation_exact_vs_hopsum(benchmark, stages):
+    systems = _systems(stages)
+
+    def run():
+        ratios = []
+        for sys_ in systems:
+            exact = SppExactAnalysis().analyze(sys_)
+            hopsum = SppApproxAnalysis().analyze(sys_)
+            for jid in exact.jobs:
+                e = exact.jobs[jid].wcrt
+                h = hopsum.jobs[jid].wcrt
+                if math.isfinite(e) and math.isfinite(h) and e > 0:
+                    ratios.append(h / e)
+        return ratios
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ratios, "no finite bounds collected"
+    mean_ratio = sum(ratios) / len(ratios)
+    # The per-hop bound is never tighter than the exact value.
+    assert min(ratios) >= 1.0 - 1e-9
+    _lines.append(
+        f"ABL1 stages={stages}: Theorem-4/Theorem-1 wcrt ratio "
+        f"mean={mean_ratio:.3f} max={max(ratios):.3f} (n={len(ratios)})"
+    )
+    if stages > 1:
+        # Decomposition must actually cost something on multi-stage systems.
+        assert mean_ratio > 1.0
+
+
+@pytest.mark.parametrize("require_convergence", [True, False], ids=["stable", "first"])
+def test_ablation_horizon_policy(benchmark, require_convergence):
+    systems = _systems(2, n=6)
+    cfg = HorizonConfig(require_convergence=require_convergence)
+
+    def run():
+        return [SppExactAnalysis(horizon=cfg).analyze(s) for s in systems]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(r.drained for r in results)
+    mean_h = sum(r.horizon for r in results) / len(results)
+    _lines.append(
+        f"ABL2 require_convergence={require_convergence}: "
+        f"mean final horizon {mean_h:.1f}"
+    )
+
+
+def test_ablation_render(benchmark, results_dir):
+    if not _lines:
+        pytest.skip("ablations not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_result("ablations.txt", "\n".join(_lines) + "\n")

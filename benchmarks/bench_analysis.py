@@ -1,0 +1,55 @@
+"""Per-method analysis latency on a representative job-shop system.
+
+Times one full adaptive-horizon analysis per method on the same random
+2-stage/2-processor, 4-job periodic system -- the unit of work the
+admission-probability experiments repeat thousands of times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    FcfsApproxAnalysis,
+    FixpointAnalysis,
+    HolisticSPPAnalysis,
+    SppApproxAnalysis,
+    SppExactAnalysis,
+    SpnpApproxAnalysis,
+)
+from repro.model import System, assign_priorities_proportional_deadline
+from repro.sim import simulate
+from repro.workloads import ShopTopology, generate_periodic_jobset
+
+
+@pytest.fixture(scope="module")
+def job_set():
+    rng = np.random.default_rng(11)
+    return generate_periodic_jobset(
+        ShopTopology(2, 2), 4, 0.6, 2.0, rng, x_range=(0.1, 1.0),
+        normalization="exact",
+    )
+
+
+CASES = [
+    ("SPP/Exact", "spp", SppExactAnalysis),
+    ("SPP/S&L", "spp", HolisticSPPAnalysis),
+    ("SPP/App", "spp", SppApproxAnalysis),
+    ("SPNP/App", "spnp", SpnpApproxAnalysis),
+    ("FCFS/App", "fcfs", FcfsApproxAnalysis),
+    ("Fixpoint/App", "spp", FixpointAnalysis),
+]
+
+
+@pytest.mark.parametrize("name,policy,analyzer_cls", CASES, ids=[c[0] for c in CASES])
+def test_analysis_latency(benchmark, job_set, name, policy, analyzer_cls):
+    system = System(job_set, policy)
+    assign_priorities_proportional_deadline(system)
+    result = benchmark(lambda: analyzer_cls().analyze(system))
+    assert result.jobs
+
+
+def test_simulation_latency(benchmark, job_set):
+    system = System(job_set, "spp")
+    assign_priorities_proportional_deadline(system)
+    res = benchmark(lambda: simulate(system, horizon=100.0))
+    assert res.completed_all

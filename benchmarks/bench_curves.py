@@ -1,0 +1,88 @@
+"""Micro-benchmarks: curve-algebra kernels and their scaling.
+
+These cover the numerical core every analysis is built on: the service
+transform (Theorems 3/5/6/7), curve sums, the pseudo-inverse, and the
+FCFS utilization/service pipeline, at increasing breakpoint counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.curves import (
+    Curve,
+    fcfs_service_bounds,
+    fcfs_utilization,
+    identity_minus,
+    min_curves,
+    service_transform,
+    sum_curves,
+)
+
+
+def periodic_workload(n_instances: int, period: float = 1.0, tau: float = 0.4) -> Curve:
+    times = period * np.arange(n_instances)
+    return Curve.step_from_times(times, tau)
+
+
+@pytest.mark.parametrize("n", [100, 1000, 10000])
+def test_service_transform_scaling(benchmark, n):
+    c = periodic_workload(n)
+    horizon = float(n + 10)
+    s = benchmark(service_transform, Curve.identity(), c, 0.0, horizon)
+    assert s.value(horizon) == pytest.approx(0.4 * n)
+
+
+@pytest.mark.parametrize("n", [100, 1000, 10000])
+def test_step_construction_scaling(benchmark, n):
+    times = np.sort(np.random.default_rng(0).uniform(0, n, n))
+    c = benchmark(Curve.step_from_times, times, 0.5)
+    assert c.value(float(n)) == pytest.approx(0.5 * n)
+
+
+@pytest.mark.parametrize("n", [100, 1000, 10000])
+def test_first_crossing_scaling(benchmark, n):
+    c = periodic_workload(n)
+    levels = 0.4 * np.arange(1, n + 1)
+    out = benchmark(c.first_crossing, levels)
+    assert np.all(np.isfinite(out))
+
+
+@pytest.mark.parametrize("k", [2, 8, 32])
+def test_sum_curves_width_scaling(benchmark, k):
+    curves = [periodic_workload(500, period=1.0 + 0.01 * i) for i in range(k)]
+    total = benchmark(sum_curves, curves)
+    assert total.value(0.0) == pytest.approx(0.4 * k)
+
+
+def test_priority_stack(benchmark):
+    """A five-level priority stack: the exact Theorem-3 cascade."""
+
+    def cascade():
+        services = []
+        for i in range(5):
+            c = periodic_workload(200, period=2.0 + i, tau=0.3)
+            avail = identity_minus(sum_curves(services)) if services else Curve.identity()
+            services.append(service_transform(avail, c, 0.0, 500.0))
+        return services[-1]
+
+    s = benchmark(cascade)
+    assert s.value(500.0) > 0
+
+
+def test_fcfs_pipeline(benchmark):
+    flows = [periodic_workload(300, period=1.0 + 0.1 * i, tau=0.2) for i in range(4)]
+    g = sum_curves(flows)
+
+    def pipeline():
+        u = fcfs_utilization(g, t_end=400.0)
+        return [fcfs_service_bounds(f, g, 0.2, 400.0, U=u) for f in flows]
+
+    bounds = benchmark(pipeline)
+    assert len(bounds) == 4
+
+
+def test_min_curves_bench(benchmark):
+    a = periodic_workload(2000, period=1.0)
+    b = Curve([0.0], [0.0], final_slope=0.35)
+    m = benchmark(min_curves, a, b)
+    assert m.dominates(Curve.zero())

@@ -1,0 +1,51 @@
+"""Micro-benchmarks: interval-domain envelopes and the stationary analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import StationaryAnalysis
+from repro.curves.envelope import (
+    envelope_of,
+    horizontal_deviation,
+    leftover_service,
+    max_count_envelope,
+)
+from repro.model import BurstyArrivals, PeriodicArrivals, System, assign_priorities_proportional_deadline
+from repro.workloads import ShopTopology, generate_periodic_jobset
+
+
+@pytest.mark.parametrize("n", [50, 200, 800])
+def test_max_count_envelope_scaling(benchmark, n):
+    rng = np.random.default_rng(0)
+    times = np.sort(rng.uniform(0, n, n))
+    env = benchmark(max_count_envelope, times)
+    assert env.value(float(n)) == pytest.approx(float(n))
+
+
+def test_bursty_envelope_construction(benchmark):
+    env = benchmark(envelope_of, BurstyArrivals(0.4), 1.0, 300.0)
+    assert env.value(0.0) >= 1.0
+
+
+def test_leftover_and_deviation(benchmark):
+    alpha_hp = envelope_of(PeriodicArrivals(3.0), height=1.0)
+    alpha_own = envelope_of(PeriodicArrivals(7.0), height=2.0)
+
+    def pipeline():
+        beta = leftover_service(alpha_hp, blocking=0.5)
+        return horizontal_deviation(alpha_own, beta)
+
+    d = benchmark(pipeline)
+    assert np.isfinite(d)
+
+
+def test_stationary_analysis_latency(benchmark):
+    rng = np.random.default_rng(5)
+    js = generate_periodic_jobset(
+        ShopTopology(2, 2), 4, 0.5, 4.0, rng,
+        x_range=(0.2, 1.0), normalization="exact",
+    )
+    sys_ = System(js, "spp")
+    assign_priorities_proportional_deadline(sys_)
+    res = benchmark(lambda: StationaryAnalysis().analyze(sys_))
+    assert res.jobs

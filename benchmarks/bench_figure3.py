@@ -1,0 +1,63 @@
+"""Reproduce Figure 3: admission probability vs. utilization (periodic).
+
+One benchmark per figure row (stage count); each regenerates the row's
+two panels (deadline multiple 2x and 4x) and appends the rendered tables
+and ASCII charts to ``benchmarks/results/figure3.txt``.
+
+Expected shape (paper Section 5.2):
+
+* panels with one stage: SPP/Exact and SPP/S&L coincide;
+* panels with more stages: SPP/Exact strictly above SPP/S&L;
+* SPNP/App and FCFS/App consistently below both;
+* the right column (doubled deadlines) lifts every curve.
+"""
+
+import pytest
+
+from repro.experiments import Figure3Config, format_figure, run_figure3
+
+from conftest import FULL_SCALE, n_sets_default, write_result
+
+UTILIZATIONS = (0.2, 0.35, 0.5, 0.65, 0.8, 0.95) if FULL_SCALE else (0.3, 0.6, 0.9)
+
+_collected = {}
+
+
+def _run_row(stages: int):
+    cfg = Figure3Config(
+        stages=(stages,),
+        deadline_factors=(2.0, 4.0),
+        utilizations=UTILIZATIONS,
+        n_sets=n_sets_default(),
+        jobs_per_set=4,
+    )
+    curves = run_figure3(cfg)
+    _collected[stages] = curves
+    return curves
+
+
+@pytest.mark.parametrize("stages", [1, 2, 4])
+def test_figure3_row(benchmark, stages):
+    curves = benchmark.pedantic(_run_row, args=(stages,), rounds=1, iterations=1)
+    # Panel-level shape assertions from the paper.
+    for curve in curves:
+        for point in curve.points:
+            exact = point.probability("SPP/Exact")
+            assert exact >= point.probability("SPP/S&L") - 1e-9
+            if stages == 1:
+                # Single stage: both SPP methods coincide (Fig. 3 (a)/(d)).
+                assert exact == pytest.approx(point.probability("SPP/S&L"))
+    # Doubled deadlines never hurt (right column >= left column).
+    left, right = curves
+    for pl, pr in zip(left.points, right.points):
+        for m in left.methods:
+            assert pr.probability(m) >= pl.probability(m) - 1e-9
+
+
+def test_figure3_render(benchmark, results_dir):
+    rows = [_collected[k] for k in sorted(_collected)]
+    flat = [c for row in rows for c in row]
+    if not flat:
+        pytest.skip("rows not benchmarked")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_result("figure3.txt", format_figure(flat, "Figure 3 (periodic arrivals)"))

@@ -1,0 +1,74 @@
+"""Reproduce Figure 4: admission probability vs. utilization (bursty).
+
+One benchmark per figure row (deadline-distribution variance); each
+regenerates the row's two panels (deadline mean 2 and 4 periods) and
+appends the rendered output to ``benchmarks/results/figure4.txt``.
+
+Expected shape (paper Section 5.2):
+
+* SPP/Exact dominates SPNP/App and FCFS/App throughout;
+* larger mean deadlines (left to right) lift every curve;
+* changing the deadline variance (top to bottom) has little effect;
+* SPP/S&L is absent -- it cannot analyze aperiodic arrivals.
+"""
+
+import pytest
+
+from repro.experiments import Figure4Config, format_figure, run_figure4
+
+from conftest import FULL_SCALE, n_sets_default, write_result
+
+UTILIZATIONS = (0.2, 0.35, 0.5, 0.65, 0.8, 0.95) if FULL_SCALE else (0.3, 0.6, 0.9)
+
+_collected = {}
+
+
+def _run_row(variance: float):
+    cfg = Figure4Config(
+        deadline_means=(2.0, 4.0),
+        deadline_variances=(variance,),
+        utilizations=UTILIZATIONS,
+        n_sets=n_sets_default(),
+        jobs_per_set=4,
+    )
+    curves = run_figure4(cfg)
+    _collected[variance] = curves
+    return curves
+
+
+@pytest.mark.parametrize("variance", [2.0, 8.0])
+def test_figure4_row(benchmark, variance):
+    curves = benchmark.pedantic(_run_row, args=(variance,), rounds=1, iterations=1)
+    left, right = curves
+    for pl, pr in zip(left.points, right.points):
+        for m in left.methods:
+            # Exact dominates the approximations at every point.
+            assert pl.probability("SPP/Exact") >= pl.probability(m) - 1e-9
+            # Larger mean deadline never hurts.
+            assert pr.probability(m) >= pl.probability(m) - 1e-9
+
+
+def test_figure4_render(benchmark, results_dir):
+    rows = [_collected[k] for k in sorted(_collected)]
+    flat = [c for row in rows for c in row]
+    if not flat:
+        pytest.skip("rows not benchmarked")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_result("figure4.txt", format_figure(flat, "Figure 4 (bursty arrivals)"))
+
+
+def test_figure4_variance_insensitivity(benchmark):
+    """The paper: 'changing the variance of deadlines has a little effect
+    on the admission probability'."""
+    if len(_collected) < 2:
+        pytest.skip("rows not benchmarked")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lo_var = _collected[min(_collected)]
+    hi_var = _collected[max(_collected)]
+    diffs = []
+    for cl, ch in zip(lo_var, hi_var):
+        for pl, ph in zip(cl.points, ch.points):
+            for m in cl.methods:
+                diffs.append(abs(pl.probability(m) - ph.probability(m)))
+    # Average shift across the whole grid stays small.
+    assert sum(diffs) / len(diffs) <= 0.25

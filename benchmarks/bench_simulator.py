@@ -1,0 +1,71 @@
+"""Micro-benchmarks: discrete-event simulator throughput and scaling.
+
+The simulator is the reproduction's ground truth; these benchmarks track
+its cost as instance counts, job counts and preemption pressure grow, so
+validation sweeps stay affordable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    Job,
+    JobSet,
+    PeriodicArrivals,
+    System,
+    assign_priorities_proportional_deadline,
+)
+from repro.sim import record_execution, simulate
+from repro.workloads import ShopTopology, generate_periodic_jobset
+
+
+def make_system(n_jobs: int, n_stages: int, policy: str, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    js = generate_periodic_jobset(
+        ShopTopology(n_stages, 2), n_jobs, 0.6, 4.0, rng,
+        x_range=(0.2, 1.0), normalization="exact",
+    )
+    sys_ = System(js, policy)
+    if policy != "fcfs":
+        assign_priorities_proportional_deadline(sys_)
+    return sys_
+
+
+@pytest.mark.parametrize("horizon", [100.0, 1000.0])
+def test_simulation_horizon_scaling(benchmark, horizon):
+    sys_ = make_system(4, 2, "spp")
+    res = benchmark(simulate, sys_, horizon)
+    assert res.completed_all
+
+
+@pytest.mark.parametrize("policy", ["spp", "spnp", "fcfs"])
+def test_simulation_policy_cost(benchmark, policy):
+    sys_ = make_system(4, 2, policy)
+    res = benchmark(simulate, sys_, 300.0)
+    assert res.completed_all
+
+
+@pytest.mark.parametrize("n_jobs", [2, 8])
+def test_simulation_job_scaling(benchmark, n_jobs):
+    sys_ = make_system(n_jobs, 2, "spp", seed=3)
+    res = benchmark(simulate, sys_, 200.0)
+    assert res.completed_all
+
+
+def test_preemption_pressure(benchmark):
+    """Many-priority single processor: heavy preemption churn."""
+    jobs = [
+        Job.build(f"J{i}", [("P1", 0.08)], PeriodicArrivals(1.0 + 0.13 * i), 100.0)
+        for i in range(10)
+    ]
+    sys_ = System(JobSet(jobs), "spp")
+    assign_priorities_proportional_deadline(sys_)
+    res = benchmark(simulate, sys_, 300.0)
+    assert res.completed_all
+
+
+def test_execution_recording_overhead(benchmark):
+    sys_ = make_system(4, 2, "spp")
+    res, trace = benchmark(record_execution, sys_, 200.0)
+    assert res.completed_all
+    assert trace.slices

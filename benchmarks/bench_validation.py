@@ -1,0 +1,93 @@
+"""VAL: analysis-vs-simulation agreement benchmark.
+
+Runs the full soundness sweep (the condensed form of
+``scripts/crossval.py``): random periodic and bursty job-shop systems,
+analyzed by SPP/Exact, SPNP/App and FCFS/App and executed by the
+discrete-event simulator.  Asserts exactness/dominance and reports the
+mean bound-to-observed ratio per method (a tightness figure the paper
+implies but never tabulates) to ``benchmarks/results/validation.txt``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import FcfsApproxAnalysis, SppExactAnalysis, SpnpApproxAnalysis
+from repro.model import System, assign_priorities_proportional_deadline
+from repro.sim import simulate
+from repro.workloads import (
+    ShopTopology,
+    generate_aperiodic_jobset,
+    generate_periodic_jobset,
+)
+
+from conftest import FULL_SCALE, write_result
+
+N_SETS = 40 if FULL_SCALE else 6
+
+
+def _job_sets():
+    rng = np.random.default_rng(777)
+    topo = ShopTopology(2, 2)
+    sets = []
+    for i in range(N_SETS):
+        if i % 2 == 0:
+            sets.append(
+                generate_periodic_jobset(topo, 3, 0.6, 4.0, rng, x_range=(0.2, 1.0))
+            )
+        else:
+            sets.append(
+                generate_aperiodic_jobset(
+                    topo, 3, 0.6, 4.0, 8.0, rng, x_range=(0.2, 1.0)
+                )
+            )
+    return sets
+
+
+CASES = [
+    ("SPP/Exact", "spp", SppExactAnalysis, True),
+    ("SPNP/App", "spnp", SpnpApproxAnalysis, False),
+    ("FCFS/App", "fcfs", FcfsApproxAnalysis, False),
+]
+
+_lines = []
+
+
+@pytest.mark.parametrize("name,policy,cls,exact", CASES, ids=[c[0] for c in CASES])
+def test_validation_sweep(benchmark, name, policy, cls, exact):
+    sets = _job_sets()
+
+    def run():
+        ratios = []
+        for js in sets:
+            sys_ = System(js, policy)
+            assign_priorities_proportional_deadline(sys_)
+            res = cls().analyze(sys_)
+            if not res.drained:
+                continue
+            rep = res.horizon / 2
+            sim = simulate(sys_, horizon=res.horizon, report_window=rep)
+            for jid, er in res.jobs.items():
+                observed = sim.jobs[jid].max_response(rep)
+                if exact:
+                    assert observed == pytest.approx(er.wcrt, abs=1e-6)
+                else:
+                    assert observed <= er.wcrt + 1e-6
+                if observed > 0 and math.isfinite(er.wcrt):
+                    ratios.append(er.wcrt / observed)
+        return ratios
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ratios
+    _lines.append(
+        f"{name}: bound/observed mean={sum(ratios)/len(ratios):.3f} "
+        f"max={max(ratios):.3f} over {len(ratios)} job responses"
+    )
+
+
+def test_validation_render(benchmark, results_dir):
+    if not _lines:
+        pytest.skip("sweep not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_result("validation.txt", "\n".join(_lines) + "\n")

@@ -1,0 +1,36 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerating a paper artifact writes its rendered output
+(tables + ASCII charts) into ``benchmarks/results/`` so the reproduction
+can be inspected after ``pytest benchmarks/ --benchmark-only``.
+
+Scale knobs: the benchmarks default to laptop-sized workloads (tens of
+random job sets per point instead of the paper's 1000).  Set the
+environment variable ``REPRO_FULL=1`` to run at paper scale.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Paper scale (1000 sets/point) when REPRO_FULL=1, laptop scale otherwise.
+FULL_SCALE = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def n_sets_default() -> int:
+    return 1000 if FULL_SCALE else 12
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text)
+    print(text)

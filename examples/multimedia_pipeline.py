@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Bursty multimedia pipeline: admission control for aperiodic streams.
+
+The paper's motivation: real workloads are bursty, not periodic.  This
+example models a small media server whose streams traverse a three-stage
+pipeline -- capture/ingest, transcode, network send -- each stage on its
+own processor.  Two stream types arrive:
+
+* an interactive stream with the paper's Eq. 27 bursty arrivals (a dense
+  startup burst relaxing toward a steady frame rate), and
+* a bulk stream shaped by a Cruz leaky bucket (sigma, rho) envelope.
+
+The example runs the exact SPP analysis as an *admission test*: streams
+are added one at a time and each addition is admitted only if every
+stream still meets its end-to-end deadline.  Note SPP/S&L could not be
+used here at all -- the arrivals are not periodic.
+
+Run:  python examples/multimedia_pipeline.py
+"""
+
+from repro.analysis import SppExactAnalysis
+from repro.model import (
+    BurstyArrivals,
+    Job,
+    JobSet,
+    LeakyBucketArrivals,
+    System,
+    assign_priorities_proportional_deadline,
+)
+from repro.sim import simulate
+
+PIPELINE = ["ingest", "transcode", "send"]
+
+
+def make_stream(idx: int) -> Job:
+    """Stream i: alternate bursty interactive and leaky-bucket bulk."""
+    if idx % 2 == 0:
+        # Interactive: Eq. 27 burst, ~3.3 frames/sec steady state.
+        arrivals = BurstyArrivals(x=0.30)
+        work = [0.20, 0.55, 0.25]  # seconds per frame per stage
+        deadline = 2.4
+    else:
+        # Bulk: leaky bucket, burst of 2 chunks then 1 chunk / 2 s.
+        arrivals = LeakyBucketArrivals(rho=0.5, sigma=2.0)
+        work = [0.15, 0.40, 0.30]
+        deadline = 5.0
+    return Job.build(
+        f"stream{idx}",
+        list(zip(PIPELINE, work)),
+        arrivals,
+        deadline=deadline,
+    )
+
+
+def admit_incrementally(max_streams: int = 6) -> JobSet:
+    """Greedy admission via :class:`repro.analysis.AdmissionController`:
+    a stream is kept only if the whole set stays schedulable under the
+    exact SPP analysis."""
+    from repro.analysis import AdmissionController
+
+    controller = AdmissionController("SPP/Exact")
+    for idx in range(max_streams):
+        decision = controller.request(make_stream(idx))
+        verdict = "ADMIT" if decision.admitted else "REJECT"
+        detail = ""
+        if decision.result is not None:
+            detail = "   wcrt/deadline = " + str(
+                {
+                    j: f"{r.wcrt:.2f}/{r.deadline:g}"
+                    for j, r in decision.result.jobs.items()
+                }
+            )
+        print(f"  stream{idx}: {verdict}{detail}")
+    return JobSet(controller.jobs)
+
+
+def main() -> None:
+    print(__doc__)
+    print("== Incremental admission (SPP/Exact) ==")
+    final = admit_incrementally()
+    print(f"\nadmitted {len(final)} streams: {[j.job_id for j in final]}")
+
+    print("\n== Validating the admitted set in simulation ==")
+    system = System(final, "spp")
+    assign_priorities_proportional_deadline(system)
+    result = SppExactAnalysis().analyze(system)
+    sim = simulate(system, horizon=result.horizon, report_window=result.horizon / 2)
+    print(sim.summary())
+    assert sim.all_deadlines_met, "admitted set missed a deadline in simulation!"
+    print("all simulated deadlines met, as guaranteed by the analysis")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Visualizing schedules: the same system under SPP, SPNP and FCFS.
+
+Records execution traces of one workload under each of the paper's three
+scheduler types and renders them as ASCII Gantt charts, making the
+behavioral differences the analyses must capture directly visible:
+
+* SPP preempts the long batch job the moment the control job arrives;
+* SPNP lets a started batch instance block control (Eq. 15's b term);
+* FCFS ignores priorities entirely and serves in arrival order.
+
+Run:  python examples/schedule_gantt.py
+"""
+
+from repro.model import (
+    Job,
+    JobSet,
+    System,
+    TraceArrivals,
+    assign_priorities_explicit,
+)
+from repro.sim import record_execution, render_gantt
+
+
+def build_system(policy: str) -> System:
+    jobs = [
+        Job.build("batch", [("cpu", 4.0)], TraceArrivals([0.0, 8.0]), 20.0),
+        Job.build("control", [("cpu", 1.0)], TraceArrivals([1.0, 6.0, 9.5]), 5.0),
+    ]
+    system = System(JobSet(jobs), policy)
+    assign_priorities_explicit(
+        system.job_set, {("batch", 0): 2, ("control", 0): 1}
+    )
+    return system
+
+
+def main() -> None:
+    print(__doc__)
+    for policy in ["spp", "spnp", "fcfs"]:
+        system = build_system(policy)
+        result, trace = record_execution(system, horizon=14.0)
+        print(f"== {policy.upper()} ==")
+        print(render_gantt(trace, t_end=14.0, width=70))
+        worst = {
+            j: f"{t.max_response():.2f}" for j, t in sorted(result.jobs.items())
+        }
+        print(f"   worst responses: {worst}")
+        print(f"   preemptions: {trace.preemption_count()}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Randomized cross-validation: analysis bounds vs simulation ground truth.
+
+Used during development and wired into the test suite in condensed form.
+Checks, over many random job-shop systems (periodic and bursty):
+
+* SPP/Exact equals the simulated worst response on analyzed instances;
+* SPNP/App and FCFS/App bounds dominate their simulations;
+* SPP/S&L dominates SPP/Exact on periodic sets.
+"""
+
+import argparse
+import math
+import sys
+
+import numpy as np
+
+from repro.analysis import (
+    FcfsApproxAnalysis,
+    HolisticSPPAnalysis,
+    SppExactAnalysis,
+    SpnpApproxAnalysis,
+)
+from repro.model import System, assign_priorities_proportional_deadline
+from repro.sim import simulate
+from repro.workloads import (
+    ShopTopology,
+    generate_aperiodic_jobset,
+    generate_periodic_jobset,
+)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--trials", type=int, default=30)
+    ap.add_argument("--seed", type=int, default=42)
+    ap.add_argument("--utilization", type=float, default=0.6)
+    ap.add_argument("--stages", type=int, default=2)
+    ap.add_argument("--jobs", type=int, default=3)
+    args = ap.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    topo = ShopTopology(args.stages, 2)
+    fails = []
+    for trial in range(args.trials):
+        if trial % 2 == 0:
+            js = generate_periodic_jobset(
+                topo, args.jobs, args.utilization, 4.0, rng, x_range=(0.2, 1.0)
+            )
+        else:
+            js = generate_aperiodic_jobset(
+                topo, args.jobs, args.utilization, 4.0, 8.0, rng, x_range=(0.2, 1.0)
+            )
+        for pol, ana in [
+            ("spp", SppExactAnalysis()),
+            ("spnp", SpnpApproxAnalysis()),
+            ("fcfs", FcfsApproxAnalysis()),
+        ]:
+            sys_ = System(js, pol)
+            assign_priorities_proportional_deadline(sys_)
+            try:
+                r = ana.analyze(sys_)
+            except Exception as exc:  # noqa: BLE001 - report and continue
+                fails.append((trial, pol, "EXC", repr(exc)[:120]))
+                continue
+            if not r.drained:
+                fails.append((trial, pol, "not drained", ""))
+                continue
+            rep = r.horizon / 2
+            sim = simulate(sys_, horizon=r.horizon, report_window=rep)
+            for jid, er in r.jobs.items():
+                sm = sim.jobs[jid].max_response(rep)
+                if pol == "spp":
+                    if abs(sm - er.wcrt) > 1e-6:
+                        fails.append(
+                            (trial, pol, jid, f"exact {er.wcrt:.4f} != sim {sm:.4f}")
+                        )
+                elif sm > er.wcrt + 1e-6:
+                    fails.append(
+                        (trial, pol, jid, f"bound {er.wcrt:.4f} < sim {sm:.4f}")
+                    )
+        if trial % 2 == 0:
+            sys_ = System(js, "spp")
+            assign_priorities_proportional_deadline(sys_)
+            rh = HolisticSPPAnalysis().analyze(sys_)
+            rx = SppExactAnalysis().analyze(sys_)
+            for jid in rh.jobs:
+                if (
+                    math.isfinite(rx.jobs[jid].wcrt)
+                    and rx.jobs[jid].wcrt > rh.jobs[jid].wcrt + 1e-6
+                ):
+                    fails.append(
+                        (
+                            trial,
+                            "holistic",
+                            jid,
+                            f"exact {rx.jobs[jid].wcrt:.4f} > S&L {rh.jobs[jid].wcrt:.4f}",
+                        )
+                    )
+        print(f"trial {trial} done", flush=True)
+
+    print("FAILS:", len(fails))
+    for f in fails[:30]:
+        print(f)
+    return 1 if fails else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Regenerate Figures 3 and 4 at configurable scale.
+
+Writes rendered panels to benchmarks/results/figure{3,4}_full.txt.
+The paper uses 1000 job sets per point; --sets 1000 reproduces that.
+"""
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    Figure3Config,
+    Figure4Config,
+    format_figure,
+    run_figure3,
+    run_figure4,
+)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--sets", type=int, default=60)
+    ap.add_argument("--workers", type=int, default=None)
+    ap.add_argument("--figure", choices=["3", "4", "both"], default="both")
+    ap.add_argument(
+        "--out", type=Path, default=Path(__file__).parent.parent / "benchmarks" / "results"
+    )
+    args = ap.parse_args()
+    args.out.mkdir(parents=True, exist_ok=True)
+    utils = (0.2, 0.4, 0.6, 0.8, 0.95)
+
+    if args.figure in ("3", "both"):
+        t0 = time.time()
+        cfg = Figure3Config(
+            utilizations=utils, n_sets=args.sets, n_workers=args.workers
+        )
+        curves = run_figure3(cfg)
+        text = format_figure(curves, f"Figure 3 (periodic, {args.sets} sets/point)")
+        (args.out / "figure3_full.txt").write_text(text)
+        print(text)
+        print(f"figure 3 done in {time.time() - t0:.0f}s", flush=True)
+
+    if args.figure in ("4", "both"):
+        t0 = time.time()
+        cfg4 = Figure4Config(
+            utilizations=utils, n_sets=args.sets, n_workers=args.workers
+        )
+        curves = run_figure4(cfg4)
+        text = format_figure(curves, f"Figure 4 (bursty, {args.sets} sets/point)")
+        (args.out / "figure4_full.txt").write_text(text)
+        print(text)
+        print(f"figure 4 done in {time.time() - t0:.0f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Response-time analyses (paper Sections 4 and 6)."""
+
+from .admission import METHODS, analyze, is_schedulable, make_analyzer
+from .base import (
+    AnalysisError,
+    AnalysisResult,
+    CyclicDependencyError,
+    EndToEndResult,
+    SubjobResult,
+    dependency_order,
+)
+from .busy_period import (
+    PeriodicTask,
+    busy_period_length,
+    liu_layland_bound,
+    response_time,
+    utilization_bound_test,
+)
+from .controller import AdmissionController, AdmissionDecision
+from .compositional import (
+    CompositionalAnalysis,
+    FcfsApproxAnalysis,
+    SpnpApproxAnalysis,
+    SppApproxAnalysis,
+    blocking_time,
+)
+from .fixpoint import FixpointAnalysis
+from .holistic import HolisticSPPAnalysis
+from .horizon import HorizonConfig, initial_horizon, run_adaptive
+from .spp_exact import SppExactAnalysis
+from .stationary import StationaryAnalysis
+
+__all__ = [
+    "AdmissionController",
+    "PeriodicTask",
+    "busy_period_length",
+    "response_time",
+    "liu_layland_bound",
+    "utilization_bound_test",
+    "AdmissionDecision",
+    "AnalysisError",
+    "CyclicDependencyError",
+    "AnalysisResult",
+    "EndToEndResult",
+    "SubjobResult",
+    "dependency_order",
+    "HorizonConfig",
+    "initial_horizon",
+    "run_adaptive",
+    "SppExactAnalysis",
+    "StationaryAnalysis",
+    "CompositionalAnalysis",
+    "SpnpApproxAnalysis",
+    "FcfsApproxAnalysis",
+    "SppApproxAnalysis",
+    "HolisticSPPAnalysis",
+    "FixpointAnalysis",
+    "blocking_time",
+    "METHODS",
+    "analyze",
+    "is_schedulable",
+    "make_analyzer",
+]

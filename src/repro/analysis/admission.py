@@ -1,0 +1,71 @@
+"""Admission control helpers (paper Section 5.1).
+
+The paper's evaluation metric is the *admission probability*: the fraction
+of randomly generated job sets whose deadline requirements are met
+according to a given analysis method.  These helpers wrap the analyzers
+behind a uniform functional interface used by the experiments and
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Union
+
+from ..model.system import SchedulingPolicy, System
+from .base import AnalysisResult
+from .compositional import (
+    CompositionalAnalysis,
+    FcfsApproxAnalysis,
+    SpnpApproxAnalysis,
+    SppApproxAnalysis,
+)
+from .fixpoint import FixpointAnalysis
+from .holistic import HolisticSPPAnalysis
+from .horizon import HorizonConfig
+from .spp_exact import SppExactAnalysis
+from .stationary import StationaryAnalysis
+
+__all__ = ["METHODS", "make_analyzer", "analyze", "is_schedulable"]
+
+#: Registry of analysis method names (as used in the paper's figures).
+METHODS = {
+    "SPP/Exact": SppExactAnalysis,
+    "SPNP/App": SpnpApproxAnalysis,
+    "FCFS/App": FcfsApproxAnalysis,
+    "SPP/S&L": HolisticSPPAnalysis,
+    "SPP/App": SppApproxAnalysis,
+    "Mixed/App": CompositionalAnalysis,
+    "Fixpoint/App": FixpointAnalysis,
+    "Stationary/NC": StationaryAnalysis,
+}
+
+
+def make_analyzer(method: str, horizon: Optional[HorizonConfig] = None):
+    """Instantiate an analyzer by its paper name (see :data:`METHODS`)."""
+    try:
+        cls = METHODS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {sorted(METHODS)}"
+        ) from None
+    if cls in (HolisticSPPAnalysis, StationaryAnalysis):
+        return cls()
+    return cls(horizon)
+
+
+def analyze(
+    system: System,
+    method: str = "SPP/Exact",
+    horizon: Optional[HorizonConfig] = None,
+) -> AnalysisResult:
+    """Analyze a system with the named method and return the full result."""
+    return make_analyzer(method, horizon).analyze(system)
+
+
+def is_schedulable(
+    system: System,
+    method: str = "SPP/Exact",
+    horizon: Optional[HorizonConfig] = None,
+) -> bool:
+    """True if every job's response-time bound meets its deadline."""
+    return analyze(system, method, horizon).schedulable

@@ -1,0 +1,209 @@
+"""Shared analysis infrastructure: results, errors, dependency ordering.
+
+Every analyzer in this package consumes a :class:`~repro.model.system.System`
+and produces an :class:`AnalysisResult` mapping each job to an
+:class:`EndToEndResult` with its worst-case end-to-end response-time bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..model.job import JobSet, SubJob
+from ..model.system import SchedulingPolicy, System
+
+__all__ = [
+    "AnalysisError",
+    "CyclicDependencyError",
+    "SubjobResult",
+    "EndToEndResult",
+    "AnalysisResult",
+    "dependency_order",
+]
+
+Key = Tuple[str, int]
+
+
+class AnalysisError(RuntimeError):
+    """Base class for analysis failures."""
+
+
+class CyclicDependencyError(AnalysisError):
+    """The subjob dependency graph has a cycle (the paper's "physical" or
+    "logical loop"); use :class:`repro.analysis.fixpoint.FixpointAnalysis`."""
+
+    def __init__(self, cycle: Sequence[Key]):
+        self.cycle = list(cycle)
+        super().__init__(
+            "cyclic subjob dependencies "
+            + " -> ".join(map(str, self.cycle))
+            + "; use FixpointAnalysis for systems with loops"
+        )
+
+
+@dataclass
+class SubjobResult:
+    """Per-hop analysis artifacts for one subjob.
+
+    ``local_delay`` is the hop delay ``d_{k,j}`` of Eq. 12 for approximate
+    analyses, or the worst per-instance hop response for the exact one.
+    Curves are retained for inspection and plotting; they are valid on
+    ``[0, horizon]`` only.
+    """
+
+    key: Key
+    processor: Hashable
+    wcet: float
+    priority: Optional[int]
+    local_delay: float = math.nan
+    arrival_times: Optional[np.ndarray] = None
+    completion_times: Optional[np.ndarray] = None
+    service_lower: Optional[object] = None
+    service_upper: Optional[object] = None
+
+
+@dataclass
+class EndToEndResult:
+    """End-to-end response-time bound for one job."""
+
+    job_id: str
+    deadline: float
+    wcrt: float  #: worst-case end-to-end response-time bound (inf if none)
+    n_instances: int  #: number of instances covered by the bound
+    per_instance: Optional[np.ndarray] = None  #: per-instance responses (exact analysis)
+    hops: List[SubjobResult] = field(default_factory=list)
+
+    @property
+    def meets_deadline(self) -> bool:
+        return self.wcrt <= self.deadline + 1e-9
+
+    @property
+    def slack(self) -> float:
+        return self.deadline - self.wcrt
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analysis run over a whole system."""
+
+    method: str
+    horizon: float
+    drained: bool  #: all analyzed instances complete within the horizon
+    converged: bool  #: bounds stable under horizon doubling
+    jobs: Dict[str, EndToEndResult] = field(default_factory=dict)
+
+    @property
+    def schedulable(self) -> bool:
+        """True if every job's bound meets its end-to-end deadline.
+
+        An undrained/unconverged analysis is conservatively unschedulable.
+        """
+        if not self.drained:
+            return False
+        return all(r.meets_deadline for r in self.jobs.values())
+
+    def wcrt(self, job_id: str) -> float:
+        return self.jobs[job_id].wcrt
+
+    def summary(self) -> str:
+        """Human-readable per-job table."""
+        lines = [
+            f"{self.method}: horizon={self.horizon:g} drained={self.drained} "
+            f"converged={self.converged} schedulable={self.schedulable}"
+        ]
+        for job_id, r in sorted(self.jobs.items()):
+            verdict = "OK " if r.meets_deadline else "MISS"
+            lines.append(
+                f"  {verdict} {job_id}: wcrt={r.wcrt:.6g} deadline={r.deadline:.6g} "
+                f"({r.n_instances} instances)"
+            )
+        return "\n".join(lines)
+
+
+def dependency_order(system: System, for_envelopes: bool = False) -> List[SubJob]:
+    """Topologically order subjobs for single-pass analysis.
+
+    Dependencies (see DESIGN.md):
+
+    * chain: ``(k, j-1) -> (k, j)`` -- a subjob's arrivals are its
+      predecessor's departures;
+    * with ``for_envelopes=False`` (the exact SPP analysis): every
+      higher-priority subjob on the same processor must be analyzed first
+      (its exact service function shapes the availability of lower
+      priorities, Theorem 3);
+    * with ``for_envelopes=True`` (the approximate pipeline): the
+      *predecessors* of every subjob sharing a processor must be analyzed
+      first -- the busy-window hop bounds only consume the interferers'
+      arrival envelopes, regardless of policy.
+
+    Raises :class:`CyclicDependencyError` when the graph has a cycle.
+    """
+    job_set: JobSet = system.job_set
+    subs = {s.key: s for s in job_set.all_subjobs()}
+    preds: Dict[Key, set] = {k: set() for k in subs}
+
+    for key, sub in subs.items():
+        job_id, idx = key
+        if idx > 0:
+            preds[key].add((job_id, idx - 1))
+
+    for proc in job_set.processors:
+        on_proc = job_set.subjobs_on(proc)
+        if for_envelopes or system.policy(proc) == SchedulingPolicy.FCFS:
+            for a in on_proc:
+                for b in on_proc:
+                    if a.key == b.key:
+                        continue
+                    # b's analysis needs a's arrival envelope, i.e. a's
+                    # predecessor hop must be done.
+                    if a.index > 0:
+                        preds[b.key].add((a.job_id, a.index - 1))
+        else:
+            for a in on_proc:
+                for b in on_proc:
+                    if a.key == b.key:
+                        continue
+                    if a.priority is not None and b.priority is not None:
+                        if a.priority < b.priority:
+                            preds[b.key].add(a.key)
+
+    # Kahn's algorithm with deterministic tie-breaking.
+    order: List[SubJob] = []
+    remaining = dict(preds)
+    ready = sorted(k for k, p in remaining.items() if not p)
+    in_ready = set(ready)
+    while ready:
+        key = ready.pop(0)
+        in_ready.discard(key)
+        order.append(subs[key])
+        del remaining[key]
+        newly = []
+        for other, p in remaining.items():
+            p.discard(key)
+            if not p and other not in in_ready:
+                newly.append(other)
+        for other in sorted(newly):
+            ready.append(other)
+            in_ready.add(other)
+        ready.sort()
+    if remaining:
+        # Extract one cycle for the error message.
+        start = next(iter(remaining))
+        cycle = [start]
+        seen = {start}
+        cur = start
+        while True:
+            nxt = next((p for p in remaining.get(cur, ()) if p in remaining), None)
+            if nxt is None:
+                break
+            cycle.append(nxt)
+            if nxt in seen:
+                break
+            seen.add(nxt)
+            cur = nxt
+        raise CyclicDependencyError(cycle)
+    return order

@@ -1,0 +1,123 @@
+"""Run-time admission control (paper Section 1: "If the job set is
+dynamic, additional run-time analysis, typically as part of an admission
+control system, may be required").
+
+:class:`AdmissionController` keeps a set of admitted jobs and accepts a
+new job only if the chosen analysis still finds *every* job (old and new)
+schedulable.  This is the dynamic-workload usage the paper motivates the
+aperiodic analysis with: arrival patterns are arbitrary, so admission
+cannot rely on periodic-only methods like SPP/S&L.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Union
+
+from ..model.job import Job, JobSet
+from ..model.priorities import assign_priorities_proportional_deadline
+from ..model.system import SchedulingPolicy, System
+from .admission import make_analyzer
+from .base import AnalysisResult
+from .horizon import HorizonConfig
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission request."""
+
+    admitted: bool
+    job_id: str
+    result: Optional[AnalysisResult]  #: analysis of the candidate set
+    reason: str = ""
+
+
+class AdmissionController:
+    """Analysis-backed admission control over a dynamic job set.
+
+    Parameters
+    ----------
+    method:
+        Analysis method name (see :data:`repro.analysis.METHODS`).  The
+        method implies the scheduling policy used on every processor,
+        unless explicit ``policies`` are given.
+    policies:
+        Optional per-processor policy map for heterogeneous platforms
+        (then ``method`` should be ``"Mixed/App"`` or another
+        policy-honoring engine).
+    horizon:
+        Optional horizon configuration forwarded to the analyzer.
+    """
+
+    def __init__(
+        self,
+        method: str = "SPP/Exact",
+        policies: Optional[Mapping[object, Union[SchedulingPolicy, str]]] = None,
+        default_policy: Union[SchedulingPolicy, str] = SchedulingPolicy.SPP,
+        horizon: Optional[HorizonConfig] = None,
+    ) -> None:
+        self.method = method
+        self.policies = dict(policies) if policies else None
+        self.default_policy = default_policy
+        self.horizon = horizon
+        self._jobs: Dict[str, Job] = {}
+        self.last_result: Optional[AnalysisResult] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def jobs(self) -> List[Job]:
+        return list(self._jobs.values())
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._jobs
+
+    def _analyze(self, jobs: List[Job]) -> AnalysisResult:
+        system = System(
+            JobSet(jobs),
+            policies=self.policies,
+            default_policy=self.default_policy,
+        )
+        if system.uses_priorities():
+            assign_priorities_proportional_deadline(system)
+        return make_analyzer(self.method, self.horizon).analyze(system)
+
+    def request(self, job: Job) -> AdmissionDecision:
+        """Try to admit ``job``; the admitted set changes only on success."""
+        if job.job_id in self._jobs:
+            return AdmissionDecision(
+                False, job.job_id, None, reason="duplicate job id"
+            )
+        candidate = self.jobs + [job]
+        try:
+            result = self._analyze(candidate)
+        except Exception as exc:  # noqa: BLE001 - analysis rejected the model
+            return AdmissionDecision(False, job.job_id, None, reason=str(exc))
+        if result.schedulable:
+            self._jobs[job.job_id] = job
+            self.last_result = result
+            return AdmissionDecision(True, job.job_id, result, reason="schedulable")
+        miss = [j for j, r in result.jobs.items() if not r.meets_deadline]
+        return AdmissionDecision(
+            False,
+            job.job_id,
+            result,
+            reason=f"deadline misses for {sorted(miss)}" if miss else "undecided",
+        )
+
+    def release(self, job_id: str) -> bool:
+        """Remove a job from the admitted set (e.g. a stream ended)."""
+        return self._jobs.pop(job_id, None) is not None
+
+    def current_bounds(self) -> Dict[str, float]:
+        """Worst-case response-time bounds of the admitted set."""
+        if not self._jobs:
+            return {}
+        result = self._analyze(self.jobs)
+        self.last_result = result
+        return {job_id: r.wcrt for job_id, r in result.jobs.items()}

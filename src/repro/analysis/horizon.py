@@ -1,0 +1,130 @@
+"""Adaptive analysis horizon.
+
+All curves in this package are finite objects over ``[0, H]``.  The
+analyses are *exact on the horizon*: arrivals after ``H`` cannot influence
+service before ``H``, so every completion bound that lands inside the
+horizon is final.  The driver below grows ``H`` geometrically until
+
+1. every *analyzed* instance (released within the report window
+   ``[0, H * analyze_fraction]``) provably completes within ``H``, and
+2. the per-job bounds are stable under one further doubling
+   (``require_convergence``), guarding against a later instance being the
+   worst one.
+
+If the system looks overloaded (some processor's long-run utilization is
+``>= 1``) or the cap is reached, the driver reports an unschedulable
+result with infinite bounds instead of looping forever.
+
+The report window exists because instances released just before ``H``
+always complete just after it; instances released in ``(H_report, H)``
+participate as interference but their own responses are not reported.
+For the paper's workloads (synchronous start, front-loaded bursts that
+relax toward periodicity) the worst response occurs early, and the
+convergence check verifies this empirically per job set.  See DESIGN.md
+section 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..model.job import JobSet
+from .base import AnalysisResult
+
+__all__ = ["HorizonConfig", "initial_horizon", "run_adaptive"]
+
+
+@dataclass(frozen=True)
+class HorizonConfig:
+    """Tuning of the adaptive horizon driver."""
+
+    initial: Optional[float] = None  #: starting horizon; auto-derived if None
+    growth: float = 2.0  #: geometric growth factor
+    max_rounds: int = 12  #: maximum number of growth steps
+    analyze_fraction: float = 0.5  #: report window fraction of the horizon
+    require_convergence: bool = True  #: demand bound stability across rounds
+    rel_tol: float = 1e-9  #: relative tolerance for bound stability
+    utilization_guard: float = 1.0 - 1e-9  #: reject if a processor is loaded beyond this
+
+    def __post_init__(self) -> None:
+        if self.growth <= 1.0:
+            raise ValueError("growth must exceed 1")
+        if not (0.0 < self.analyze_fraction <= 1.0):
+            raise ValueError("analyze_fraction must be in (0, 1]")
+
+
+def initial_horizon(job_set: JobSet) -> float:
+    """Derive a starting horizon from deadlines, periods and trace spans."""
+    spans = [1.0]
+    for job in job_set:
+        spans.append(job.deadline)
+        rate = job.arrivals.rate
+        if rate > 0:
+            spans.append(1.0 / rate)
+        times = job.arrivals.release_times(math.inf) if rate == 0 else None
+        if times is not None and len(times):
+            spans.append(float(times[-1]) + job.deadline)
+    return 4.0 * max(spans)
+
+
+def _stable(
+    prev: Dict[str, float], cur: Dict[str, float], rel_tol: float
+) -> bool:
+    for job_id, v in cur.items():
+        p = prev.get(job_id)
+        if p is None:
+            return False
+        if math.isinf(v) and math.isinf(p):
+            continue
+        if math.isinf(v) or math.isinf(p):
+            return False
+        scale = max(abs(v), abs(p), 1.0)
+        if abs(v - p) > rel_tol * scale:
+            return False
+    return True
+
+
+def run_adaptive(
+    analyze_once: Callable[[float, float], Tuple[AnalysisResult, bool]],
+    job_set: JobSet,
+    config: HorizonConfig,
+) -> AnalysisResult:
+    """Drive ``analyze_once(horizon, report_window)`` to a stable result.
+
+    ``analyze_once`` returns ``(result, ok)`` where ``ok`` means every
+    analyzed instance completed within the horizon.  The driver returns as
+    soon as a run is ``ok`` and either already unschedulable (larger
+    horizons only confirm misses: per-hop maxima are taken over a superset
+    of instances) or stable against the previous ``ok`` run.
+    """
+    h = config.initial if config.initial is not None else initial_horizon(job_set)
+    prev_bounds: Optional[Dict[str, float]] = None
+    last_result: Optional[AnalysisResult] = None
+    for round_idx in range(config.max_rounds):
+        report = h * config.analyze_fraction
+        result, ok = analyze_once(h, report)
+        last_result = result
+        if ok:
+            result.drained = True
+            if not result.schedulable and result.jobs:
+                # Misses only accumulate with a larger horizon; stop early.
+                result.converged = True
+                return result
+            bounds = {j: r.wcrt for j, r in result.jobs.items()}
+            if not config.require_convergence:
+                result.converged = True
+                return result
+            if prev_bounds is not None and _stable(
+                prev_bounds, bounds, config.rel_tol
+            ):
+                result.converged = True
+                return result
+            prev_bounds = bounds
+        else:
+            prev_bounds = None
+        h *= config.growth
+    assert last_result is not None
+    last_result.converged = False
+    return last_result

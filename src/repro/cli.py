@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``analyze``
+    Run a response-time analysis on a JSON system description::
+
+        python -m repro analyze system.json --method SPP/Exact
+
+``simulate``
+    Execute the system in the discrete-event simulator::
+
+        python -m repro simulate system.json --horizon 200
+
+``validate``
+    Analyze *and* simulate, reporting bound-vs-observed per job::
+
+        python -m repro validate system.json --method SPNP/App
+
+``figures``
+    Regenerate the paper's Figure 3 / Figure 4 admission-probability
+    panels at a chosen scale::
+
+        python -m repro figures --figure 3 --sets 100
+
+``methods``
+    List the available analysis methods.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import METHODS, make_analyzer
+from .model.io import load_system
+from .sim import simulate as run_simulation
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Response-time analysis for distributed real-time systems with "
+            "bursty job arrivals (Li, Bettati & Zhao, ICPP 1998)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_an = sub.add_parser("analyze", help="analyze a JSON system description")
+    p_an.add_argument("system", help="path to the system JSON file")
+    p_an.add_argument(
+        "--method", default="SPP/Exact", choices=sorted(METHODS), metavar="METHOD"
+    )
+
+    p_sim = sub.add_parser("simulate", help="simulate a JSON system description")
+    p_sim.add_argument("system")
+    p_sim.add_argument("--horizon", type=float, default=100.0)
+    p_sim.add_argument("--report-window", type=float, default=None)
+
+    p_val = sub.add_parser("validate", help="analyze and simulate, compare")
+    p_val.add_argument("system")
+    p_val.add_argument(
+        "--method", default="SPP/Exact", choices=sorted(METHODS), metavar="METHOD"
+    )
+
+    p_fig = sub.add_parser("figures", help="regenerate Figure 3 / Figure 4")
+    p_fig.add_argument("--figure", choices=["3", "4", "both"], default="both")
+    p_fig.add_argument("--sets", type=int, default=30)
+    p_fig.add_argument("--workers", type=int, default=None)
+
+    p_rep = sub.add_parser("report", help="markdown analysis report")
+    p_rep.add_argument("system")
+    p_rep.add_argument(
+        "--method",
+        action="append",
+        dest="methods",
+        choices=sorted(METHODS),
+        metavar="METHOD",
+        help="repeatable; default: SPP/Exact and SPNP/App",
+    )
+    p_rep.add_argument("--no-simulate", action="store_true")
+
+    sub.add_parser("methods", help="list analysis methods")
+    return parser
+
+
+def _cmd_analyze(args) -> int:
+    system = load_system(args.system)
+    result = make_analyzer(args.method).analyze(system)
+    print(result.summary())
+    return 0 if result.schedulable else 1
+
+
+def _cmd_simulate(args) -> int:
+    system = load_system(args.system)
+    res = run_simulation(
+        system, horizon=args.horizon, report_window=args.report_window
+    )
+    print(res.summary())
+    return 0 if res.all_deadlines_met else 1
+
+
+def _cmd_validate(args) -> int:
+    system = load_system(args.system)
+    result = make_analyzer(args.method).analyze(system)
+    print(result.summary())
+    if not result.drained:
+        print("analysis did not drain; skipping simulation comparison")
+        return 1
+    rep = result.horizon / 2
+    sim = run_simulation(system, horizon=result.horizon, report_window=rep)
+    ok = True
+    for job_id, er in sorted(result.jobs.items()):
+        observed = sim.jobs[job_id].max_response(rep)
+        holds = observed <= er.wcrt + 1e-9
+        ok = ok and holds
+        print(
+            f"  {job_id}: bound {er.wcrt:.6g} vs simulated {observed:.6g} "
+            f"[{'ok' if holds else 'VIOLATION'}]"
+        )
+    return 0 if ok else 2
+
+
+def _cmd_figures(args) -> int:
+    from .experiments import (
+        Figure3Config,
+        Figure4Config,
+        format_figure,
+        run_figure3,
+        run_figure4,
+    )
+
+    if args.figure in ("3", "both"):
+        cfg = Figure3Config(n_sets=args.sets, n_workers=args.workers)
+        print(format_figure(run_figure3(cfg), "Figure 3 (periodic arrivals)"))
+    if args.figure in ("4", "both"):
+        cfg4 = Figure4Config(n_sets=args.sets, n_workers=args.workers)
+        print(format_figure(run_figure4(cfg4), "Figure 4 (bursty arrivals)"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .experiments import analysis_report
+
+    system = load_system(args.system)
+    print(
+        analysis_report(
+            system,
+            methods=args.methods or ["SPP/Exact", "SPNP/App"],
+            simulate_check=not args.no_simulate,
+        )
+    )
+    return 0
+
+
+def _cmd_methods(_args) -> int:
+    for name in sorted(METHODS):
+        print(f"  {name:14s} {METHODS[name].__doc__.strip().splitlines()[0]}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "analyze": _cmd_analyze,
+        "simulate": _cmd_simulate,
+        "validate": _cmd_validate,
+        "figures": _cmd_figures,
+        "report": _cmd_report,
+        "methods": _cmd_methods,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

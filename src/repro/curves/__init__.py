@@ -1,0 +1,28 @@
+"""Curve algebra for cumulative arrival/workload/service functions.
+
+See :mod:`repro.curves.curve` for the :class:`Curve` data type and
+:mod:`repro.curves.ops` for the min-plus operators used by the response
+time analysis (Theorems 3--9 of Li, Bettati & Zhao, ICPP 1998).
+"""
+
+from .curve import EPS, Curve, CurveError
+from .ops import (
+    fcfs_service_bounds,
+    fcfs_utilization,
+    identity_minus,
+    min_curves,
+    service_transform,
+    sum_curves,
+)
+
+__all__ = [
+    "EPS",
+    "Curve",
+    "CurveError",
+    "sum_curves",
+    "min_curves",
+    "identity_minus",
+    "service_transform",
+    "fcfs_utilization",
+    "fcfs_service_bounds",
+]

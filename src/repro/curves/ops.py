@@ -1,0 +1,420 @@
+"""Operators on curves: sums, minima, and the service transform.
+
+The central operator is :func:`service_transform`, the min-plus kernel
+
+    ``S(t) = min_{0 <= s <= max(0, t - lag)} { B(t) - B(s) + c(s) }``
+
+shared by Theorems 3 (exact SPP service, ``lag=0``), 5 (SPNP lower bound,
+``lag = b_kj``), 6 (SPNP upper bound, ``lag=0``) and 7 (FCFS utilization,
+``B(t)=t``, ``lag=0``) of Li, Bettati & Zhao (ICPP 1998).
+
+The kernel evaluates the cumulative workload ``c`` *left-continuously*
+inside the minimum (network-calculus convention); see DESIGN.md section 3.
+Writing ``R(u) = min(0, min_{j : p_j < u} ( v_j - B(min(u, p_{j+1})) ))``
+over the constant pieces ``(p_j, v_j)`` of ``c``, the kernel becomes
+``S(t) = B(t) + R(max(0, t - lag))``.  ``R`` is continuous, non-increasing
+and piecewise linear, so ``S`` is materialized exactly on the union of the
+breakpoints of ``B`` and the (lag-shifted) kinks of ``R``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .curve import EPS, Curve, CurveError
+
+__all__ = [
+    "sum_curves",
+    "min_curves",
+    "identity_minus",
+    "service_transform",
+    "fcfs_utilization",
+    "fcfs_service_bounds",
+]
+
+
+def _union_grid(arrays: Sequence[np.ndarray], t_end: float = math.inf) -> np.ndarray:
+    parts = [np.asarray(a, dtype=float) for a in arrays if np.size(a)]
+    if not parts:
+        return np.array([0.0])
+    grid = np.unique(np.concatenate(parts))
+    grid = grid[(grid >= 0.0) & (grid <= t_end)]
+    if grid.size == 0 or grid[0] > 0.0:
+        grid = np.concatenate(([0.0], grid))
+    # NOTE: exact duplicates are already collapsed by np.unique; points
+    # closer than EPS must NOT be merged here -- a jump sitting just after
+    # a merged abscissa would be evaluated pre-jump and silently dropped.
+    return grid
+
+
+def _interleave(
+    xs: np.ndarray, left: np.ndarray, right: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build breakpoint arrays emitting a jump wherever right > left."""
+    jump = right > left + EPS
+    n = xs.size + int(np.count_nonzero(jump))
+    out_x = np.empty(n)
+    out_y = np.empty(n)
+    pos = np.arange(xs.size) + np.concatenate(([0], np.cumsum(jump[:-1])))
+    out_x[pos] = xs
+    out_y[pos] = np.where(jump, left, right)
+    jpos = pos[jump] + 1
+    out_x[jpos] = xs[jump]
+    out_y[jpos] = right[jump]
+    return out_x, out_y
+
+
+def sum_curves(curves: Sequence[Curve]) -> Curve:
+    """Pointwise sum of non-decreasing curves (exact).
+
+    Used for the higher-priority service totals in Theorems 3/5/6 and the
+    processor workload total ``G_j = sum c_{k,l}`` of Theorem 7 (Eq. 21).
+    """
+    curves = list(curves)
+    if not curves:
+        return Curve.zero()
+    if len(curves) == 1:
+        return curves[0]
+    grid = _union_grid([c.x for c in curves])
+    left = np.zeros_like(grid)
+    right = np.zeros_like(grid)
+    for c in curves:
+        left += np.atleast_1d(c.value_left(grid))
+        right += np.atleast_1d(c.value(grid))
+    xs, ys = _interleave(grid, left, right)
+    fs = sum(c.final_slope for c in curves)
+    return Curve(xs, ys, fs)
+
+
+def min_curves(a: Curve, b: Curve) -> Curve:
+    """Pointwise minimum of two non-decreasing curves (exact).
+
+    Segment crossings are detected and inserted so the result is an exact
+    piecewise-linear representation of ``min(a, b)``.
+    """
+    grid = _union_grid([a.x, b.x])
+    # Insert crossing points inside segments where a - b changes sign.
+    seg_starts = grid
+    extra: List[float] = []
+    ar = np.atleast_1d(a.value(seg_starts))
+    br = np.atleast_1d(b.value(seg_starts))
+    for i in range(grid.size - 1):
+        x0, x1 = grid[i], grid[i + 1]
+        d0 = ar[i] - br[i]
+        d1 = float(a.value_left(x1)) - float(b.value_left(x1))
+        if (d0 > EPS and d1 < -EPS) or (d0 < -EPS and d1 > EPS):
+            # Linear difference on the open segment: interpolate the root.
+            t = x0 + (0.0 - d0) * (x1 - x0) / (d1 - d0)
+            if x0 + EPS < t < x1 - EPS:
+                extra.append(t)
+    # Tail crossing beyond the last breakpoint.
+    x_last = grid[-1]
+    da = float(a.value(x_last)) - float(b.value(x_last))
+    dslope = a.final_slope - b.final_slope
+    if abs(dslope) > EPS:
+        t = x_last - da / dslope
+        if t > x_last + EPS and math.isfinite(t):
+            extra.append(t)
+    if extra:
+        grid = _union_grid([grid, np.asarray(extra)])
+    left = np.minimum(
+        np.atleast_1d(a.value_left(grid)), np.atleast_1d(b.value_left(grid))
+    )
+    right = np.minimum(np.atleast_1d(a.value(grid)), np.atleast_1d(b.value(grid)))
+    xs, ys = _interleave(grid, left, right)
+    # Final slope: whichever curve is smaller at infinity.
+    if abs(dslope) <= EPS:
+        fs = min(a.final_slope, b.final_slope)
+    else:
+        fs = a.final_slope if dslope < 0 else b.final_slope
+    # Monotone guard (min of non-decreasing curves is non-decreasing; noise
+    # from crossings is clamped by Curve's constructor accumulate).
+    return Curve(xs, ys, fs)
+
+
+def identity_minus(total: Curve, lateness: float = 0.0, mode: str = "exact") -> Curve:
+    """The availability curve ``B(t) = max(0, t - lateness - total(t))``.
+
+    This realizes ``A_{k,j}`` of Theorem 3 (``lateness=0``), ``B_{k,j}`` of
+    Theorem 5 (``lateness = b_{k,j}``) and of Theorem 6 (``lateness=0``),
+    where ``total`` is the sum of the (bounds on) higher-priority service
+    functions on the processor.  The clamp at zero only tightens/preserves
+    the theorems' bounds (DESIGN.md section 3).
+
+    ``mode`` handles the monotonicity of the result:
+
+    * ``"exact"`` -- ``total`` is a sum of *exact* service functions on one
+      processor, so its slope never exceeds 1 and ``B`` is automatically
+      non-decreasing (Theorem 3); violations raise.
+    * ``"lower"`` / ``"upper"`` -- ``total`` is a sum of service *bounds*,
+      which individually never exceed rate 1 but whose sum may locally
+      (bounds need not be jointly feasible); the raw ``h`` can then dip.
+      ``"lower"`` applies the suffix-minimum closure (never raises a
+      value: sound for the availability inside a *lower* service bound),
+      ``"upper"`` the running-maximum closure (never lowers a value: sound
+      inside an *upper* service bound).
+    """
+    if lateness < 0:
+        raise CurveError("lateness must be non-negative")
+    if mode not in ("exact", "lower", "upper"):
+        raise CurveError(f"unknown mode {mode!r}")
+    if mode == "exact" and not total.is_continuous(tol=1e-7):
+        raise CurveError(
+            "exact availability transform requires a continuous total"
+        )
+    if mode == "exact" and total.final_slope > 1.0 + 1e-9:
+        raise CurveError(
+            "exact availability transform received a total with slope > 1"
+        )
+    grid = _union_grid([total.x, np.asarray([lateness])])
+    # Interleave left/right values so downward jumps of h (= upward jumps
+    # of `total`) are represented exactly before the monotone closure.
+    h_left = grid - lateness - np.atleast_1d(total.value_left(grid))
+    h_right = grid - lateness - np.atleast_1d(total.value(grid))
+    jump = h_left > h_right + EPS
+    n = grid.size + int(np.count_nonzero(jump))
+    xs = np.empty(n)
+    hs = np.empty(n)
+    pos = np.arange(grid.size) + np.concatenate(([0], np.cumsum(jump[:-1])))
+    xs[pos] = grid
+    hs[pos] = np.where(jump, h_left, h_right)
+    jpos = pos[jump] + 1
+    xs[jpos] = grid[jump]
+    hs[jpos] = h_right[jump]
+    # Insert the first zero-upcrossing of h so max(0, h) is exact.
+    above = np.nonzero(hs > EPS)[0]
+    if above.size and above[0] > 0:
+        i = above[0]
+        x0, x1 = xs[i - 1], xs[i]
+        h0, h1 = hs[i - 1], hs[i]
+        if h1 - h0 > EPS and x1 - x0 > EPS:
+            t = x0 + (0.0 - h0) * (x1 - x0) / (h1 - h0)
+            if x0 + EPS < t < x1 - EPS:
+                xs = np.insert(xs, i, t)
+                hs = np.insert(hs, i, 0.0)
+    elif above.size == 0:
+        # h never reaches zero within the grid; it may in the tail.
+        fs_h = 1.0 - total.final_slope
+        if fs_h > EPS:
+            x_last = xs[-1]
+            t = x_last - hs[-1] / fs_h
+            if t > x_last + EPS and math.isfinite(t):
+                xs = np.append(xs, t)
+                hs = np.append(hs, 0.0)
+    y = np.maximum(hs, 0.0)
+    non_monotone = bool(np.any(np.diff(y) < -1e-7))
+    if non_monotone:
+        if mode == "exact":
+            raise CurveError(
+                "exact availability transform received a total with slope > 1"
+            )
+        if mode == "upper":
+            np.maximum.accumulate(y, out=y)
+        else:  # lower: suffix minimum (non-decreasing, never above y)
+            y = np.minimum.accumulate(y[::-1])[::-1]
+    fs = max(0.0, 1.0 - total.final_slope)
+    return Curve(xs, y, fs)
+
+
+def _running_min_branch(
+    B: Curve, c: Curve, t_end: float
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Compute ``R(u) = min(0, min_{j: p_j < u}(v_j - B(min(u, p_{j+1}))))``.
+
+    Returns breakpoint arrays ``(u, R(u))`` on ``[0, t_end]`` plus the final
+    slope of ``R`` beyond ``t_end``.  ``R`` is continuous, non-increasing
+    and piecewise linear; its kinks occur at the piece boundaries of ``c``,
+    at breakpoints of ``B`` while ``R`` tracks the branch ``v_j - B(u)``,
+    and at the crossover points where a branch first dips below the running
+    minimum.
+    """
+    if not c.is_step():
+        raise CurveError("service transform requires a step workload curve")
+    p, v = c.steps()
+    # Clip pieces that start at or beyond the horizon.
+    mask = p < t_end - EPS
+    p = p[mask]
+    v = v[mask]
+    if p.size == 0:
+        p = np.array([0.0])
+        v = np.array([float(c.value(0.0))])
+    bounds = np.append(p, t_end)
+
+    # Vectorized pre-computation of the per-piece state:
+    #   m_i = min(0, min_{j < i} (v_j - B(bounds_{j+1})))
+    #   u*_i = first u with B(u) >= v_i - m_i  (branch crossover)
+    b_at_bounds = np.atleast_1d(B.value(bounds))
+    w = v - b_at_bounds[1:]
+    m_arr = np.empty(p.size)
+    m_arr[0] = 0.0
+    if p.size > 1:
+        m_arr[1:] = np.minimum(0.0, np.minimum.accumulate(w)[:-1])
+    lvl = v - m_arr
+    u_star_arr = np.atleast_1d(B.first_crossing(np.maximum(lvl, 0.0)))
+    u_star_arr[lvl <= EPS] = 0.0
+    # B values at B's own breakpoints (continuous => y at breakpoints).
+    bx, by = B.x, B.y
+    lo_idx = np.searchsorted(bx, np.maximum(u_star_arr, bounds[:-1]), side="right")
+    hi_idx = np.searchsorted(bx, bounds[1:], side="left")
+
+    us: List[float] = [0.0]
+    rs: List[float] = [0.0]
+    on_branch_at_end = False
+    for i in range(p.size):
+        a, b_hi = bounds[i], bounds[i + 1]
+        vi = v[i]
+        m = m_arr[i]
+        if b_hi - a <= EPS:
+            continue
+        u_star = min(max(float(u_star_arr[i]), a), b_hi)
+        if u_star > a + EPS:
+            us.append(u_star)
+            rs.append(m)
+            on_branch_at_end = False
+        if u_star < b_hi - EPS:
+            # Follow the branch vi - B(u) on (u_star, b_hi]; include B's
+            # interior breakpoints so the branch is piecewise exact.
+            for k in range(lo_idx[i], hi_idx[i]):
+                xbp = bx[k]
+                if xbp > us[-1] + EPS:
+                    us.append(float(xbp))
+                    rs.append(vi - float(by[k]))
+            us.append(b_hi)
+            rs.append(vi - float(b_at_bounds[i + 1]))
+            on_branch_at_end = True
+
+    u_arr = np.asarray(us)
+    r_arr = np.asarray(rs)
+    # R is non-increasing by construction; clamp floating noise.
+    np.minimum.accumulate(r_arr, out=r_arr)
+    # Deduplicate abscissae (keep the last = smallest value).
+    keep = np.concatenate((np.diff(u_arr) > EPS, [True]))
+    u_arr = u_arr[keep]
+    r_arr = r_arr[keep]
+    r_fs = -B.final_slope if on_branch_at_end else 0.0
+    return u_arr, r_arr, r_fs
+
+
+def _eval_piecewise(
+    xq: np.ndarray, xs: np.ndarray, ys: np.ndarray, final_slope: float
+) -> np.ndarray:
+    """Evaluate a continuous piecewise-linear table at query points."""
+    out = np.interp(xq, xs, ys)
+    beyond = xq > xs[-1]
+    if np.any(beyond):
+        out[beyond] = ys[-1] + final_slope * (xq[beyond] - xs[-1])
+    return out
+
+
+def service_transform(
+    B: Curve, c: Curve, lag: float = 0.0, t_end: float = math.inf
+) -> Curve:
+    """The paper's min-plus service kernel (Theorems 3, 5, 6, 7).
+
+    Parameters
+    ----------
+    B:
+        Availability curve (continuous, non-decreasing, ``B(0) = 0``),
+        typically produced by :func:`identity_minus`.
+    c:
+        Cumulative workload step curve of the analyzed subjob (Def. 3), or
+        the processor total ``G`` for Theorem 7.
+    lag:
+        The blocking lag ``b_{k,j}`` of Theorem 5; zero for the exact and
+        upper-bound transforms.
+    t_end:
+        Analysis horizon.  The returned curve is exact on ``[0, t_end]``
+        (for ``lag=0``) and must not be trusted beyond it, because ``c``
+        itself only describes arrivals up to the horizon.
+
+    Returns
+    -------
+    Curve
+        ``S`` with ``S(t) = B(t) + R(max(0, t - lag))`` made monotone (the
+        lagged formula can dip; the running maximum is a valid tightening
+        of a lower bound on a non-decreasing service function).
+    """
+    if lag < 0:
+        raise CurveError("lag must be non-negative")
+    if not math.isfinite(t_end):
+        t_end = max(B.x_end, c.x_end) + 1.0
+    u_arr, r_arr, r_fs = _running_min_branch(B, c, max(t_end - lag, 0.0) + EPS)
+
+    grid = _union_grid(
+        [B.x, u_arr + lag, np.asarray([0.0, lag, t_end])], t_end=t_end
+    )
+    shifted = np.maximum(grid - lag, 0.0)
+    r_vals = _eval_piecewise(shifted, u_arr, r_arr, r_fs)
+    r_vals[shifted <= 0.0] = 0.0
+    s_vals = np.atleast_1d(B.value(grid)) + r_vals
+    s_vals = np.maximum(s_vals, 0.0)
+    np.maximum.accumulate(s_vals, out=s_vals)
+    if lag == 0.0:
+        fs = max(0.0, B.final_slope + r_fs)
+    else:
+        # Beyond the horizon a lagged lower bound is continued flat, which
+        # is sound for a lower bound (callers stay within t_end anyway).
+        fs = 0.0
+    return Curve(grid, s_vals, fs)
+
+
+def fcfs_utilization(G: Curve, t_end: float = math.inf) -> Curve:
+    """Utilization function of an FCFS processor (Theorem 7, Eq. 20).
+
+    ``U(t) = min_{0<=s<=t} { t - s + G(s) }`` -- the service transform with
+    unit-rate availability ``B(t) = t`` applied to the processor's total
+    workload ``G`` (Eq. 21).
+    """
+    return service_transform(Curve.identity(), G, lag=0.0, t_end=t_end)
+
+
+def fcfs_service_bounds(
+    c: Curve, G: Curve, tau: float, t_end: float, U: Curve = None
+) -> Tuple[Curve, Curve]:
+    """Lower/upper service bounds under FCFS (Theorems 8 and 9).
+
+    ``S_lower(t) = c(G^{-1}(U(t)))`` and ``S_upper = S_lower + tau``.  The
+    composition is materialized batch-by-batch: for each jump of ``G`` at
+    time ``p_j`` to cumulative level ``G_j``, the analyzed subjob's service
+    lower bound rises to ``c(p_j)`` at the instant ``U`` first reaches
+    ``G_j`` (all work arrived up to and including the batch at ``p_j`` has
+    then been served).  While a batch is only partially served the lower
+    bound keeps the previous level and the upper bound adds ``tau`` --
+    exactly the ambiguity Theorems 8/9 bracket.
+
+    The upper bound is additionally capped at ``c(t)`` (a subjob can never
+    have received more service than it has demanded), which also keeps the
+    bound sound when the *bounding* arrival curve of a downstream hop
+    carries simultaneous batched arrivals.
+    """
+    if U is None:
+        U = fcfs_utilization(G, t_end=t_end)
+    p, gv = G.steps()
+    mask = p <= t_end + EPS
+    p = p[mask]
+    gv = np.atleast_1d(gv)[mask]
+    # Drop the implicit zero-level piece at t=0 when G has no jump there.
+    levels = gv[gv > EPS]
+    times_of_batches = p[gv > EPS]
+    if levels.size == 0:
+        lower = Curve.zero()
+        return lower, min_curves(lower.shift_y(tau), c)
+    t_done = np.atleast_1d(U.first_crossing(levels))
+    finite = np.isfinite(t_done) & (t_done <= t_end + EPS)
+    xs: List[float] = [0.0]
+    ys: List[float] = [0.0]
+    for tb, pj, ok in zip(t_done, times_of_batches, finite):
+        if not ok:
+            break
+        level_c = float(c.value(pj))
+        if level_c > ys[-1] + EPS:
+            xs.append(float(tb))
+            ys.append(ys[-1])
+            xs.append(float(tb))
+            ys.append(level_c)
+    lower = Curve(np.asarray(xs), np.asarray(ys), 0.0)
+    upper = min_curves(lower.shift_y(tau), c)
+    return lower, upper

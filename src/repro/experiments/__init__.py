@@ -1,0 +1,29 @@
+"""Experiment harnesses reproducing the paper's evaluation (Section 5)."""
+
+from .admission import (
+    AdmissionCurve,
+    AdmissionPoint,
+    admission_probability,
+    sweep,
+)
+from .figure3 import FIGURE3_METHODS, Figure3Config, run_figure3
+from .figure4 import FIGURE4_METHODS, Figure4Config, run_figure4
+from .report import analysis_report
+from .tables import format_ascii_chart, format_figure, format_panel
+
+__all__ = [
+    "AdmissionCurve",
+    "AdmissionPoint",
+    "admission_probability",
+    "sweep",
+    "Figure3Config",
+    "run_figure3",
+    "FIGURE3_METHODS",
+    "Figure4Config",
+    "run_figure4",
+    "FIGURE4_METHODS",
+    "format_panel",
+    "analysis_report",
+    "format_ascii_chart",
+    "format_figure",
+]

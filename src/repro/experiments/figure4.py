@@ -1,0 +1,100 @@
+"""Figure 4 reproduction: admission probability, aperiodic (bursty) arrivals.
+
+The paper's Figure 4 is a grid of panels: the deadline distribution's
+variance grows top to bottom, its mean grows left to right; each panel
+plots admission probability against the ``Utilization`` parameter for the
+three methods that support aperiodic arrivals (SPP/Exact, SPNP/App,
+FCFS/App) -- SPP/S&L is omitted because it only handles periodic jobs.
+
+The paper calls the deadline distribution "exponential" while varying
+mean and variance independently; we use a Gamma distribution
+parameterized by (mean, variance) -- exponential when
+``variance == mean**2`` -- with both expressed in units of each job's
+asymptotic period (see DESIGN.md, "Substitutions").  Expected shape:
+
+* curves improve left to right (larger mean deadline = more slack);
+* changing the variance (top to bottom) has little effect;
+* SPP/Exact dominates SPNP/App and FCFS/App throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis import HorizonConfig
+from ..model.job import JobSet
+from ..workloads import ShopTopology, generate_aperiodic_jobset
+from .admission import AdmissionCurve, sweep
+
+__all__ = ["Figure4Config", "run_figure4", "FIGURE4_METHODS"]
+
+FIGURE4_METHODS = ("SPP/Exact", "SPNP/App", "FCFS/App")
+
+
+@dataclass
+class Figure4Config:
+    """Parameters of the Figure 4 reproduction (laptop-sized defaults)."""
+
+    n_stages: int = 2
+    procs_per_stage: int = 2
+    jobs_per_set: int = 4
+    deadline_means: Tuple[float, ...] = (2.0, 4.0)  #: columns (periods)
+    deadline_variances: Tuple[float, ...] = (2.0, 8.0)  #: rows (periods^2)
+    utilizations: Tuple[float, ...] = (0.2, 0.35, 0.5, 0.65, 0.8, 0.95)
+    n_sets: int = 100
+    seed: int = 2026
+    x_range: Tuple[float, float] = (0.1, 1.0)
+    #: see Figure3Config.normalization.
+    normalization: str = "exact"
+    methods: Tuple[str, ...] = FIGURE4_METHODS
+    horizon: Optional[HorizonConfig] = None
+    n_workers: Optional[int] = None  #: processes for the sweep (None = serial)
+
+
+def run_figure4(config: Figure4Config = Figure4Config()) -> List[AdmissionCurve]:
+    """Run all panels row-major: (variance asc) x (mean asc)."""
+    topo = ShopTopology(config.n_stages, config.procs_per_stage)
+    curves: List[AdmissionCurve] = []
+    panel = 0
+    for variance in config.deadline_variances:
+        for mean in config.deadline_means:
+            panel += 1
+            rng = np.random.default_rng(config.seed + panel)
+
+            def make(
+                u: float,
+                r: np.random.Generator,
+                mean=mean,
+                variance=variance,
+            ) -> JobSet:
+                return generate_aperiodic_jobset(
+                    topo,
+                    config.jobs_per_set,
+                    utilization=u,
+                    deadline_mean=mean,
+                    deadline_variance=variance,
+                    rng=r,
+                    x_range=config.x_range,
+                    normalization=config.normalization,
+                )
+
+            label = (
+                f"Figure 4 panel {panel}: deadline mean={mean:g} periods, "
+                f"variance={variance:g}, bursty (Eq. 27) arrivals"
+            )
+            curves.append(
+                sweep(
+                    label,
+                    config.utilizations,
+                    config.methods,
+                    make,
+                    config.n_sets,
+                    rng,
+                    config.horizon,
+                    n_workers=config.n_workers,
+                )
+            )
+    return curves

@@ -1,0 +1,71 @@
+"""ASCII rendering of admission-probability panels.
+
+The paper's figures are line plots; in this offline reproduction each
+panel is rendered as a table (one row per utilization, one column per
+method) plus a coarse ASCII chart so the comparative shape -- who wins,
+where the curves separate -- is visible directly in benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .admission import AdmissionCurve
+
+__all__ = ["format_panel", "format_ascii_chart", "format_figure"]
+
+
+def format_panel(curve: AdmissionCurve, precision: int = 3) -> str:
+    """One panel as a fixed-width table."""
+    methods = curve.methods
+    width = max(9, *(len(m) + 2 for m in methods))
+    header = "util".rjust(8) + "".join(m.rjust(width) for m in methods)
+    lines = [curve.label, header]
+    for p in curve.points:
+        row = f"{p.utilization:8.3f}"
+        for m in methods:
+            row += f"{p.probability(m):{width}.{precision}f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_ascii_chart(
+    curve: AdmissionCurve, height: int = 10, symbols: str = "*+ox#@"
+) -> str:
+    """A coarse ASCII line chart of admission probability vs utilization."""
+    methods = curve.methods
+    cols = len(curve.points)
+    grid: List[List[str]] = [[" "] * cols for _ in range(height + 1)]
+    for mi, m in enumerate(methods):
+        sym = symbols[mi % len(symbols)]
+        for ci, p in enumerate(curve.points):
+            prob = p.probability(m)
+            if prob != prob:  # nan
+                continue
+            row = height - int(round(prob * height))
+            if grid[row][ci] == " ":
+                grid[row][ci] = sym
+            else:
+                grid[row][ci] = "&"  # overlap
+    lines = [curve.label]
+    for r, row in enumerate(grid):
+        frac = (height - r) / height
+        lines.append(f"{frac:5.2f} |" + " ".join(row))
+    lines.append("      +" + "--" * cols)
+    us = curve.utilizations()
+    lines.append(f"       util {us[0]:.2f} .. {us[-1]:.2f}")
+    legend = "  ".join(
+        f"{symbols[i % len(symbols)]}={m}" for i, m in enumerate(methods)
+    )
+    lines.append("       " + legend + "  &=overlap")
+    return "\n".join(lines)
+
+
+def format_figure(curves: Sequence[AdmissionCurve], title: str) -> str:
+    """Render a full multi-panel figure."""
+    parts = [f"=== {title} ==="]
+    for c in curves:
+        parts.append(format_panel(c))
+        parts.append(format_ascii_chart(c))
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,187 @@
+"""JSON (de)serialization of systems.
+
+Lets users describe a distributed real-time system declaratively and run
+the analyses from the command line (``python -m repro``).  The format:
+
+.. code-block:: json
+
+    {
+      "policies": {"cpu": "spp", "nic": "fcfs"},
+      "default_policy": "spp",
+      "priority_assignment": "proportional_deadline",
+      "jobs": [
+        {
+          "id": "control",
+          "deadline": 20.0,
+          "arrivals": {"type": "periodic", "period": 10.0},
+          "route": [["cpu", 2.0], ["nic", 1.0]]
+        },
+        {
+          "id": "stream",
+          "deadline": 25.0,
+          "arrivals": {"type": "bursty", "x": 0.2},
+          "route": [["cpu", 1.0], ["nic", 2.0]]
+        }
+      ]
+    }
+
+Arrival types: ``periodic`` (period, offset), ``bursty`` (x, Eq. 27),
+``sporadic`` (min_gap, offset), ``leaky_bucket`` (rho, sigma), ``trace``
+(times).  Priority assignments: ``proportional_deadline`` (Eq. 24,
+default), ``deadline_monotonic``, ``rate_monotonic``, ``explicit`` (then
+each route hop is ``[processor, wcet, priority]``), or ``none``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    LeakyBucketArrivals,
+    PeriodicArrivals,
+    SporadicArrivals,
+    TraceArrivals,
+)
+from .job import Job, JobSet, SubJob
+from .priorities import (
+    assign_priorities_deadline_monotonic,
+    assign_priorities_proportional_deadline,
+    assign_priorities_rate_monotonic,
+)
+from .system import SchedulingPolicy, System
+
+__all__ = ["system_to_dict", "system_from_dict", "load_system", "save_system"]
+
+
+def _arrivals_to_dict(arrivals: ArrivalProcess) -> Dict[str, Any]:
+    if isinstance(arrivals, PeriodicArrivals):
+        return {"type": "periodic", "period": arrivals.period, "offset": arrivals.offset}
+    if isinstance(arrivals, BurstyArrivals):
+        return {"type": "bursty", "x": arrivals.x}
+    if isinstance(arrivals, SporadicArrivals):
+        return {"type": "sporadic", "min_gap": arrivals.min_gap, "offset": arrivals.offset}
+    if isinstance(arrivals, LeakyBucketArrivals):
+        return {"type": "leaky_bucket", "rho": arrivals.rho, "sigma": arrivals.sigma}
+    if isinstance(arrivals, TraceArrivals):
+        return {"type": "trace", "times": list(arrivals.times)}
+    raise TypeError(f"cannot serialize arrival process {type(arrivals).__name__}")
+
+
+def _arrivals_from_dict(data: Dict[str, Any]) -> ArrivalProcess:
+    kind = data.get("type")
+    if kind == "periodic":
+        return PeriodicArrivals(float(data["period"]), float(data.get("offset", 0.0)))
+    if kind == "bursty":
+        return BurstyArrivals(float(data["x"]))
+    if kind == "sporadic":
+        return SporadicArrivals(float(data["min_gap"]), float(data.get("offset", 0.0)))
+    if kind == "leaky_bucket":
+        return LeakyBucketArrivals(float(data["rho"]), float(data.get("sigma", 1.0)))
+    if kind == "trace":
+        return TraceArrivals([float(t) for t in data["times"]])
+    raise ValueError(f"unknown arrival type {kind!r}")
+
+
+def system_to_dict(system: System) -> Dict[str, Any]:
+    """Serialize a system (including any assigned priorities)."""
+    jobs: List[Dict[str, Any]] = []
+    explicit = system.job_set.priorities_assigned()
+    for job in system.job_set:
+        route = []
+        for sub in job.subjobs:
+            if sub.nonpreemptive_section > 0:
+                hop = {"processor": sub.processor, "wcet": sub.wcet}
+                if explicit:
+                    hop["priority"] = sub.priority
+                hop["nonpreemptive_section"] = sub.nonpreemptive_section
+                route.append(hop)
+            else:
+                route.append(
+                    [sub.processor, sub.wcet]
+                    + ([sub.priority] if explicit else [])
+                )
+        entry = {
+            "id": job.job_id,
+            "deadline": job.deadline,
+            "arrivals": _arrivals_to_dict(job.arrivals),
+            "route": route,
+        }
+        if job.release_jitter > 0:
+            entry["release_jitter"] = job.release_jitter
+        jobs.append(entry)
+    return {
+        "policies": {str(p): system.policy(p).value for p in system.processors},
+        "priority_assignment": "explicit" if explicit else "none",
+        "jobs": jobs,
+    }
+
+
+def system_from_dict(data: Dict[str, Any]) -> System:
+    """Build a system from its dictionary description and assign
+    priorities per ``priority_assignment`` (default Eq. 24)."""
+    jobs: List[Job] = []
+    assignment = data.get("priority_assignment", "proportional_deadline")
+    for jd in data["jobs"]:
+        subjobs = []
+        for idx, hop in enumerate(jd["route"]):
+            if isinstance(hop, dict):
+                proc = hop["processor"]
+                wcet = float(hop["wcet"])
+                prio = int(hop["priority"]) if "priority" in hop else None
+                masked = float(hop.get("nonpreemptive_section", 0.0))
+            else:
+                proc, wcet = hop[0], float(hop[1])
+                prio = int(hop[2]) if len(hop) > 2 else None
+                masked = 0.0
+            subjobs.append(
+                SubJob(
+                    job_id=jd["id"],
+                    index=idx,
+                    processor=proc,
+                    wcet=wcet,
+                    priority=prio,
+                    nonpreemptive_section=masked,
+                )
+            )
+        jobs.append(
+            Job(
+                job_id=jd["id"],
+                subjobs=subjobs,
+                arrivals=_arrivals_from_dict(jd["arrivals"]),
+                deadline=float(jd["deadline"]),
+                release_jitter=float(jd.get("release_jitter", 0.0)),
+            )
+        )
+    system = System(
+        JobSet(jobs),
+        policies=data.get("policies") or None,
+        default_policy=data.get("default_policy", "spp"),
+    )
+    if assignment == "proportional_deadline":
+        assign_priorities_proportional_deadline(system)
+    elif assignment == "deadline_monotonic":
+        assign_priorities_deadline_monotonic(system)
+    elif assignment == "rate_monotonic":
+        assign_priorities_rate_monotonic(system)
+    elif assignment in ("explicit", "none"):
+        pass
+    else:
+        raise ValueError(f"unknown priority_assignment {assignment!r}")
+    return system
+
+
+def load_system(path: Union[str, Path]) -> System:
+    """Load a system description from a JSON file."""
+    with open(path) as fh:
+        return system_from_dict(json.load(fh))
+
+
+def save_system(system: System, path: Union[str, Path]) -> None:
+    """Write a system description to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(system_to_dict(system), fh, indent=2, default=str)
+        fh.write("\n")

@@ -1,0 +1,101 @@
+"""Priority assignment policies (paper Section 5.1).
+
+The paper's experiments use the *relative deadline monotonic* assignment of
+Sun & Liu: every subjob receives a proportional sub-deadline
+
+    ``D_{i,j} = tau_{i,j} / (sum_l tau_{i,l}) * D_i``        (Eq. 24)
+
+and subjobs sharing a processor are prioritized by increasing sub-deadline
+(smaller sub-deadline = higher priority = smaller ``phi``).  The analysis
+itself works for *arbitrary* assignments, so alternatives (rate monotonic,
+end-to-end deadline monotonic, explicit) are provided as well.
+
+All policies assign each processor's priorities as the dense range
+``1 .. n`` and break ties deterministically by ``(key, job_id, index)`` so
+that SPP/SPNP analyses (which require unique priorities per processor) are
+always well-defined.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Mapping, Tuple, Union
+
+from .job import JobSet, SubJob
+from .system import System
+
+__all__ = [
+    "assign_priorities_proportional_deadline",
+    "assign_priorities_deadline_monotonic",
+    "assign_priorities_rate_monotonic",
+    "assign_priorities_explicit",
+    "assign_priorities_by_key",
+]
+
+JobSetLike = Union[JobSet, System]
+
+
+def _job_set(obj: JobSetLike) -> JobSet:
+    return obj.job_set if isinstance(obj, System) else obj
+
+
+def assign_priorities_by_key(
+    obj: JobSetLike, key: Callable[[SubJob], float]
+) -> None:
+    """Assign per-processor priorities by increasing ``key(subjob)``.
+
+    The subjob with the smallest key gets priority 1 (highest).  Ties are
+    broken by ``(job_id, index)`` for determinism.
+    """
+    job_set = _job_set(obj)
+    for proc in job_set.processors:
+        subs = job_set.subjobs_on(proc)
+        subs.sort(key=lambda s: (key(s), s.job_id, s.index))
+        for rank, sub in enumerate(subs, start=1):
+            sub.priority = rank
+
+
+def assign_priorities_proportional_deadline(obj: JobSetLike) -> None:
+    """The paper's Eq. 24 relative-deadline-monotonic assignment."""
+    job_set = _job_set(obj)
+    sub_deadline: Dict[Tuple[str, int], float] = {}
+    for job in job_set:
+        for sub, d in zip(job.subjobs, job.sub_deadlines()):
+            sub_deadline[sub.key] = d
+    assign_priorities_by_key(job_set, lambda s: sub_deadline[s.key])
+
+
+def assign_priorities_deadline_monotonic(obj: JobSetLike) -> None:
+    """Prioritize by the job's end-to-end deadline (smaller = higher)."""
+    job_set = _job_set(obj)
+    deadline = {job.job_id: job.deadline for job in job_set}
+    assign_priorities_by_key(job_set, lambda s: deadline[s.job_id])
+
+
+def assign_priorities_rate_monotonic(obj: JobSetLike) -> None:
+    """Prioritize by arrival rate (higher rate = higher priority).
+
+    For periodic jobs this is classical rate-monotonic assignment; for
+    aperiodic processes the long-run rate is used.  Jobs with zero rate
+    (finite traces) sort last.
+    """
+    job_set = _job_set(obj)
+    rate = {job.job_id: job.arrivals.rate for job in job_set}
+
+    def key(sub: SubJob) -> float:
+        r = rate[sub.job_id]
+        return -r if r > 0 else float("inf")
+
+    assign_priorities_by_key(job_set, key)
+
+
+def assign_priorities_explicit(
+    obj: JobSetLike, priorities: Mapping[Tuple[str, int], int]
+) -> None:
+    """Assign explicit priorities from a ``(job_id, index) -> phi`` map."""
+    job_set = _job_set(obj)
+    for sub in job_set.all_subjobs():
+        if sub.key in priorities:
+            sub.priority = int(priorities[sub.key])
+    missing = [s.key for s in job_set.all_subjobs() if s.priority is None]
+    if missing:
+        raise ValueError(f"explicit priority map is missing subjobs: {missing}")

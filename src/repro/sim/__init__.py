@@ -1,0 +1,23 @@
+"""Discrete-event simulator (Direct Synchronization, SPP/SPNP/FCFS)."""
+
+from .distributed import simulate
+from .gantt import ExecutionSlice, ExecutionTrace, record_execution, render_gantt
+from .engine import Event, EventQueue, SimClock
+from .processor import InstanceTask, ProcessorSim
+from .trace import InstanceRecord, JobTrace, SimulationResult
+
+__all__ = [
+    "ExecutionSlice",
+    "ExecutionTrace",
+    "record_execution",
+    "render_gantt",
+    "simulate",
+    "Event",
+    "EventQueue",
+    "SimClock",
+    "InstanceTask",
+    "ProcessorSim",
+    "InstanceRecord",
+    "JobTrace",
+    "SimulationResult",
+]

@@ -1,0 +1,74 @@
+"""Discrete-event simulation core.
+
+A minimal but exact event engine: a priority queue of timestamped events
+with stable FIFO ordering among equal timestamps, plus support for
+cancelling scheduled events (needed when a running subjob instance is
+preempted and its completion event becomes stale).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+__all__ = ["Event", "EventQueue", "SimClock"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled occurrence.  Ordering: time, then insertion sequence."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """Heap-backed event queue with cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def schedule(self, time: float, action: Callable[[], None]) -> Event:
+        if not math.isfinite(time):
+            raise ValueError(f"cannot schedule an event at t={time}")
+        ev = Event(time=time, seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next live event, or None when empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                return ev
+        return None
+
+
+class SimClock:
+    """Shared simulation clock (monotonically advanced by the driver)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, t: float) -> None:
+        if t < self.now - 1e-12:
+            raise RuntimeError(f"time going backwards: {t} < {self.now}")
+        self.now = max(self.now, t)

@@ -1,0 +1,179 @@
+"""Per-processor scheduling simulation (SPP, SPNP, FCFS).
+
+Each :class:`ProcessorSim` owns a ready queue and at most one running
+instance.  The three policies of the paper are implemented exactly:
+
+* **SPP** -- preemptive static priority: a newly ready instance with a
+  smaller ``phi`` immediately preempts the running one (whose remaining
+  execution time is preserved);
+* **SPNP** -- non-preemptive static priority: the running instance always
+  finishes; the highest-priority ready instance is dispatched next;
+* **FCFS** -- instances are served in release order at this processor.
+
+Tie-breaking is deterministic: equal priorities / release times are
+ordered by ``(job_id, hop index, instance number)``.  Within one subjob,
+instances are processed in release order (the FIFO assumption behind
+Theorem 2).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, List, Optional, Tuple
+
+from ..model.system import SchedulingPolicy
+from .engine import Event, EventQueue
+
+__all__ = ["InstanceTask", "ProcessorSim"]
+
+
+@dataclass
+class InstanceTask:
+    """One instance of one subjob, as seen by a processor."""
+
+    job_id: str
+    hop: int
+    instance: int  #: 1-based instance number m
+    wcet: float
+    priority: int
+    release_time: float  #: release at *this* processor
+    nonpreemptive: float = 0.0  #: preemption-masked prefix of the execution
+    remaining: float = field(init=False)
+    start_last: float = field(init=False, default=math.nan)
+    completion_time: float = field(init=False, default=math.nan)
+
+    def __post_init__(self) -> None:
+        self.remaining = self.wcet
+
+    def executed_by(self, now: float) -> float:
+        """Execution time accumulated by ``now`` (while running)."""
+        done = self.wcet - self.remaining
+        if not math.isnan(self.start_last):
+            done += max(0.0, now - self.start_last)
+        return min(done, self.wcet)
+
+    @property
+    def key(self) -> Tuple[str, int, int]:
+        return (self.job_id, self.hop, self.instance)
+
+
+class ProcessorSim:
+    """Simulation state of one processor."""
+
+    def __init__(
+        self,
+        name: Hashable,
+        policy: SchedulingPolicy,
+        queue: EventQueue,
+        on_complete: Callable[[InstanceTask, float], None],
+    ) -> None:
+        self.name = name
+        self.policy = policy
+        self.queue = queue
+        self.on_complete = on_complete
+        self._ready: List[Tuple[tuple, InstanceTask]] = []
+        self.running: Optional[InstanceTask] = None
+        self._completion_event: Optional[Event] = None
+        self._unmask_event: Optional[Event] = None
+        self.busy_time = 0.0  #: accumulated service (utilization function)
+
+    # ------------------------------------------------------------------
+
+    def _order_key(self, task: InstanceTask) -> tuple:
+        if self.policy == SchedulingPolicy.FCFS:
+            return (task.release_time, task.job_id, task.hop, task.instance)
+        return (task.priority, task.release_time, task.job_id, task.hop, task.instance)
+
+    def release(self, task: InstanceTask, now: float) -> None:
+        """A new instance becomes ready at this processor."""
+        heapq.heappush(self._ready, (self._order_key(task), task))
+        self.dispatch(now)
+
+    # ------------------------------------------------------------------
+
+    def dispatch(self, now: float) -> None:
+        """Start/preempt work according to the policy."""
+        if self.running is not None:
+            if self.policy != SchedulingPolicy.SPP or not self._ready:
+                return
+            best = self._ready[0][1]
+            if best.priority < self.running.priority:
+                # If the running instance has already exhausted its
+                # execution time exactly at `now`, its completion event is
+                # pending at this same timestamp: let it complete instead
+                # of "preempting" finished work (which would artificially
+                # delay its completion past a simultaneous arrival).
+                if self.running.start_last + self.running.remaining <= now + 1e-12:
+                    return
+                # Preemption masking: inside its non-preemptable prefix
+                # the running instance cannot be displaced; re-evaluate
+                # the instant the masked region ends.
+                executed = self.running.executed_by(now)
+                if executed < self.running.nonpreemptive - 1e-12:
+                    unmask_at = now + (self.running.nonpreemptive - executed)
+                    pending = (
+                        self._unmask_event is not None
+                        and not self._unmask_event.cancelled
+                        and now - 1e-12 < self._unmask_event.time <= unmask_at + 1e-12
+                    )
+                    if not pending:
+                        self._unmask_event = self.queue.schedule(
+                            unmask_at, lambda t=unmask_at: self.dispatch(t)
+                        )
+                    return
+                self._preempt(now)
+            else:
+                return
+        if self.running is None and self._ready:
+            _, task = heapq.heappop(self._ready)
+            self._start(task, now)
+
+    def _start(self, task: InstanceTask, now: float) -> None:
+        self.running = task
+        task.start_last = now
+        finish = now + task.remaining
+        self._completion_event = self.queue.schedule(
+            finish, lambda: self._complete(finish)
+        )
+
+    def _preempt(self, now: float) -> None:
+        task = self.running
+        assert task is not None
+        executed = now - task.start_last
+        task.remaining -= executed
+        self.busy_time += executed
+        if task.remaining < -1e-9:
+            raise RuntimeError(f"negative remaining time for {task.key}")
+        task.remaining = max(task.remaining, 0.0)
+        task.start_last = math.nan
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        heapq.heappush(self._ready, (self._order_key(task), task))
+        self.running = None
+
+    def _complete(self, now: float) -> None:
+        task = self.running
+        assert task is not None, f"completion with idle processor {self.name}"
+        self.busy_time += task.remaining
+        task.remaining = 0.0
+        task.completion_time = now
+        self.running = None
+        self._completion_event = None
+        self.on_complete(task, now)
+        self.dispatch(now)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        return self.running is None and not self._ready
+
+    def backlog(self) -> float:
+        """Remaining work currently queued or running."""
+        total = sum(t.remaining for _, t in self._ready)
+        if self.running is not None:
+            total += self.running.remaining
+        return total

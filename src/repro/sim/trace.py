@@ -1,0 +1,102 @@
+"""Simulation traces and response-time statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["InstanceRecord", "JobTrace", "SimulationResult"]
+
+
+@dataclass
+class InstanceRecord:
+    """Lifecycle of one end-to-end job instance."""
+
+    job_id: str
+    instance: int  #: 1-based instance number
+    release: float  #: release of the first subjob
+    hop_completions: List[float] = field(default_factory=list)
+
+    @property
+    def completion(self) -> float:
+        """Completion of the last subjob (nan while in flight)."""
+        return self.hop_completions[-1] if self.hop_completions else math.nan
+
+    @property
+    def finished(self) -> bool:
+        return bool(self.hop_completions) and not math.isnan(self.hop_completions[-1])
+
+    @property
+    def response(self) -> float:
+        return self.completion - self.release
+
+
+@dataclass
+class JobTrace:
+    """All recorded instances of one job."""
+
+    job_id: str
+    deadline: float
+    records: List[InstanceRecord] = field(default_factory=list)
+
+    def responses(self, released_by: float = math.inf) -> np.ndarray:
+        """End-to-end response times of finished instances released by t."""
+        vals = [
+            r.response
+            for r in self.records
+            if r.finished and r.release <= released_by
+        ]
+        return np.asarray(vals)
+
+    def max_response(self, released_by: float = math.inf) -> float:
+        resp = self.responses(released_by)
+        return float(resp.max()) if resp.size else 0.0
+
+    def deadline_misses(self, released_by: float = math.inf) -> int:
+        resp = self.responses(released_by)
+        return int(np.count_nonzero(resp > self.deadline + 1e-9))
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    horizon: float
+    report_window: float
+    jobs: Dict[str, JobTrace] = field(default_factory=dict)
+    processor_busy: Dict[object, float] = field(default_factory=dict)
+    completed_all: bool = True  #: all released instances finished in time
+
+    def max_response(self, job_id: str) -> float:
+        """Worst observed response among instances in the report window."""
+        return self.jobs[job_id].max_response(self.report_window)
+
+    def responses(self, job_id: str) -> np.ndarray:
+        return self.jobs[job_id].responses(self.report_window)
+
+    @property
+    def all_deadlines_met(self) -> bool:
+        return all(
+            t.deadline_misses(self.report_window) == 0 for t in self.jobs.values()
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"simulation: horizon={self.horizon:g} "
+            f"report_window={self.report_window:g} "
+            f"complete={self.completed_all}"
+        ]
+        for job_id, trace in sorted(self.jobs.items()):
+            resp = trace.responses(self.report_window)
+            if resp.size:
+                lines.append(
+                    f"  {job_id}: n={resp.size} max={resp.max():.6g} "
+                    f"mean={resp.mean():.6g} deadline={trace.deadline:g} "
+                    f"misses={trace.deadline_misses(self.report_window)}"
+                )
+            else:
+                lines.append(f"  {job_id}: no finished instances in window")
+        return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Workload generation: job-shop topologies and the paper's random sets."""
+
+from .generators import (
+    execution_times_eq26,
+    gamma_deadline,
+    generate_aperiodic_jobset,
+    generate_periodic_jobset,
+)
+from .jobshop import ShopTopology, figure2_routes, random_routing
+
+__all__ = [
+    "ShopTopology",
+    "random_routing",
+    "figure2_routes",
+    "execution_times_eq26",
+    "gamma_deadline",
+    "generate_periodic_jobset",
+    "generate_aperiodic_jobset",
+]

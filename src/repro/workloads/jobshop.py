@@ -1,0 +1,76 @@
+"""Job-shop topologies (paper Section 5.1, Figure 2).
+
+The evaluation systems are *shops*: a sequence of stages, each containing
+a number of processors.  Every job traverses the stages in order and is
+assigned one processor per stage.  :func:`figure2_shop` reproduces the
+exact 4-stage/2-processor example of Figure 2; :func:`random_routing`
+draws the per-stage processor assignment used by the random experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ShopTopology", "random_routing", "figure2_routes"]
+
+
+@dataclass(frozen=True)
+class ShopTopology:
+    """A shop: ``n_stages`` stages with ``procs_per_stage`` processors each.
+
+    Processors are named ``P1 .. P_{n_stages * procs_per_stage}``, numbered
+    stage-major as in Figure 2 (stage 1 holds ``P1, P2``; stage 2 holds
+    ``P3, P4``; ...).
+    """
+
+    n_stages: int
+    procs_per_stage: int
+
+    def __post_init__(self) -> None:
+        if self.n_stages < 1 or self.procs_per_stage < 1:
+            raise ValueError("need at least one stage and one processor per stage")
+
+    @property
+    def n_processors(self) -> int:
+        return self.n_stages * self.procs_per_stage
+
+    def processor(self, stage: int, slot: int) -> str:
+        """Name of processor ``slot`` (0-based) in ``stage`` (0-based)."""
+        if not (0 <= stage < self.n_stages):
+            raise ValueError(f"stage {stage} out of range")
+        if not (0 <= slot < self.procs_per_stage):
+            raise ValueError(f"slot {slot} out of range")
+        return f"P{stage * self.procs_per_stage + slot + 1}"
+
+    @property
+    def processors(self) -> List[str]:
+        return [f"P{i + 1}" for i in range(self.n_processors)]
+
+    def stage_of(self, processor: str) -> int:
+        idx = int(processor[1:]) - 1
+        return idx // self.procs_per_stage
+
+
+def random_routing(
+    topology: ShopTopology, n_jobs: int, rng: np.random.Generator
+) -> List[List[str]]:
+    """Draw a random route (one processor per stage) for each job."""
+    routes: List[List[str]] = []
+    for _ in range(n_jobs):
+        slots = rng.integers(0, topology.procs_per_stage, size=topology.n_stages)
+        routes.append(
+            [topology.processor(stage, int(s)) for stage, s in enumerate(slots)]
+        )
+    return routes
+
+
+def figure2_routes() -> Tuple[ShopTopology, List[List[str]]]:
+    """The exact example of Figure 2: 4 stages x 2 processors, jobs T1/T2.
+
+    ``T1`` executes on ``P1, P3, P5, P7``; ``T2`` on ``P1, P4, P5, P8``.
+    """
+    topo = ShopTopology(n_stages=4, procs_per_stage=2)
+    return topo, [["P1", "P3", "P5", "P7"], ["P1", "P4", "P5", "P8"]]

@@ -1,0 +1,127 @@
+"""Tests for the classic single-node busy-period utilities."""
+
+import math
+
+import pytest
+
+from repro.analysis import HolisticSPPAnalysis, SppExactAnalysis
+from repro.analysis.busy_period import (
+    PeriodicTask,
+    busy_period_length,
+    liu_layland_bound,
+    response_time,
+    utilization_bound_test,
+)
+from repro.model import (
+    Job,
+    JobSet,
+    PeriodicArrivals,
+    System,
+    assign_priorities_explicit,
+)
+
+
+class TestResponseTime:
+    def test_textbook_example(self):
+        # Classic: C=(1,2,3), T=(4,6,10), RM priorities: R = (1, 3, 10).
+        t1 = PeriodicTask("t1", 1.0, 4.0, 1)
+        t2 = PeriodicTask("t2", 2.0, 6.0, 2)
+        t3 = PeriodicTask("t3", 3.0, 10.0, 3)
+        tasks = [t1, t2, t3]
+        assert response_time(tasks, t1) == pytest.approx(1.0)
+        assert response_time(tasks, t2) == pytest.approx(3.0)
+        assert response_time(tasks, t3) == pytest.approx(10.0)
+
+    def test_blocking_added(self):
+        t1 = PeriodicTask("t1", 1.0, 4.0, 1)
+        assert response_time([t1], t1, blocking=2.0) == pytest.approx(3.0)
+
+    def test_jitter_inflates(self):
+        t1 = PeriodicTask("hi", 1.0, 4.0, 1, jitter=1.0)
+        t2 = PeriodicTask("lo", 1.0, 8.0, 2)
+        base_hi = PeriodicTask("hi", 1.0, 4.0, 1)
+        r_with = response_time([t1, t2], t2)
+        r_without = response_time([base_hi, t2], t2)
+        assert r_with >= r_without
+
+    def test_overload_infinite(self):
+        t = PeriodicTask("t", 3.0, 2.0, 1)
+        assert math.isinf(response_time([t], t))
+
+    def test_arbitrary_deadline_multiple_instances(self):
+        # U = 0.95 harmonic-ish: busy period spans several instances; the
+        # maximum response need not be the first instance's.
+        hi = PeriodicTask("hi", 3.0, 5.0, 1)
+        lo = PeriodicTask("lo", 3.5, 10.0, 2)
+        r = response_time([hi, lo], lo)
+        assert math.isfinite(r)
+        assert r > lo.wcet  # real interference happened
+
+    def test_matches_exact_analysis_single_node(self):
+        jobs = [
+            Job.build("a", [("P1", 1.0)], PeriodicArrivals(4.0), 40.0),
+            Job.build("b", [("P1", 2.0)], PeriodicArrivals(6.0), 40.0),
+            Job.build("c", [("P1", 1.5)], PeriodicArrivals(10.0), 40.0),
+        ]
+        sys_ = System(JobSet(jobs), "spp")
+        assign_priorities_explicit(
+            sys_.job_set, {("a", 0): 1, ("b", 0): 2, ("c", 0): 3}
+        )
+        exact = SppExactAnalysis().analyze(sys_)
+        tasks = [
+            PeriodicTask("a", 1.0, 4.0, 1),
+            PeriodicTask("b", 2.0, 6.0, 2),
+            PeriodicTask("c", 1.5, 10.0, 3),
+        ]
+        for t in tasks:
+            assert response_time(tasks, t) == pytest.approx(
+                exact.jobs[t.name].wcrt, abs=1e-9
+            )
+
+
+class TestBusyPeriod:
+    def test_simple_length(self):
+        t = PeriodicTask("t", 1.0, 4.0, 1)
+        assert busy_period_length([t], t) == pytest.approx(1.0)
+
+    def test_backlogged_length(self):
+        hi = PeriodicTask("hi", 2.0, 4.0, 1)
+        lo = PeriodicTask("lo", 1.0, 4.0, 2)
+        # Level-2 busy period: 2+1=3, then ceil(3/4)*2 + ceil(3/4)*1 = 3.
+        assert busy_period_length([hi, lo], lo) == pytest.approx(3.0)
+
+    def test_validation_guards(self):
+        with pytest.raises(ValueError):
+            PeriodicTask("t", 0.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            PeriodicTask("t", 1.0, 1.0, 1, jitter=-1.0)
+
+
+class TestUtilizationBound:
+    def test_liu_layland_values(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+        assert liu_layland_bound(2) == pytest.approx(0.8284, abs=1e-4)
+        # limit ln 2
+        assert liu_layland_bound(1000) == pytest.approx(math.log(2), abs=1e-3)
+
+    def test_accepts_under_bound(self):
+        tasks = [
+            PeriodicTask("a", 1.0, 4.0, 1),
+            PeriodicTask("b", 1.0, 4.0, 2),
+        ]  # U = 0.5 <= 0.828
+        assert utilization_bound_test(tasks) is True
+
+    def test_rejects_overload(self):
+        tasks = [PeriodicTask("a", 3.0, 2.0, 1)]
+        assert utilization_bound_test(tasks) is False
+
+    def test_inconclusive_region(self):
+        tasks = [
+            PeriodicTask("a", 0.45 * 4, 4.0, 1),
+            PeriodicTask("b", 0.45 * 6, 6.0, 2),
+        ]  # U = 0.9 between ln2-ish bound and 1
+        assert utilization_bound_test(tasks) is None
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            liu_layland_bound(0)

@@ -1,0 +1,162 @@
+"""Unit tests for the Theorem-4 pipeline (SPNP/App, FCFS/App, mixed)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CompositionalAnalysis,
+    FcfsApproxAnalysis,
+    SppApproxAnalysis,
+    SppExactAnalysis,
+    SpnpApproxAnalysis,
+    blocking_time,
+)
+from repro.model import (
+    Job,
+    JobSet,
+    PeriodicArrivals,
+    System,
+    TraceArrivals,
+    assign_priorities_explicit,
+    assign_priorities_proportional_deadline,
+)
+from repro.sim import simulate
+
+
+def system_of(jobs, policy, priorities=None):
+    sys_ = System(JobSet(jobs), policy)
+    if priorities:
+        assign_priorities_explicit(sys_.job_set, priorities)
+    elif policy != "fcfs":
+        assign_priorities_proportional_deadline(sys_)
+    return sys_
+
+
+def check_dominates_sim(analysis_result, system):
+    """Analysis bound must dominate the simulated worst response."""
+    rep = analysis_result.horizon / 2
+    sim = simulate(system, horizon=analysis_result.horizon, report_window=rep)
+    for job_id, er in analysis_result.jobs.items():
+        observed = sim.jobs[job_id].max_response(rep)
+        assert observed <= er.wcrt + 1e-6, (
+            f"{job_id}: bound {er.wcrt} < simulated {observed}"
+        )
+
+
+class TestSpnp:
+    def test_lone_job(self):
+        job = Job.build("A", [("P1", 1.0)], PeriodicArrivals(4.0), 8.0)
+        res = SpnpApproxAnalysis().analyze(system_of([job], "spnp"))
+        assert res.jobs["A"].wcrt == pytest.approx(1.0)
+
+    def test_blocking_time_eq15(self):
+        hi = Job.build("HI", [("P1", 1.0)], PeriodicArrivals(4.0), 4.0)
+        lo = Job.build("LO", [("P1", 2.5)], PeriodicArrivals(8.0), 8.0)
+        sys_ = system_of([hi, lo], "spnp", {("HI", 0): 1, ("LO", 0): 2})
+        assert blocking_time(sys_, sys_.job_set.subjob("HI", 0)) == 2.5
+        assert blocking_time(sys_, sys_.job_set.subjob("LO", 0)) == 0.0
+
+    def test_highest_priority_suffers_blocking(self):
+        hi = Job.build("HI", [("P1", 1.0)], PeriodicArrivals(10.0), 20.0)
+        lo = Job.build("LO", [("P1", 2.5)], PeriodicArrivals(10.0), 20.0)
+        sys_ = system_of([hi, lo], "spnp", {("HI", 0): 1, ("LO", 0): 2})
+        res = SpnpApproxAnalysis().analyze(sys_)
+        # HI can wait for a just-started LO: bound >= 1 + something <= 1+2.5.
+        assert res.jobs["HI"].wcrt >= 1.0
+        assert res.jobs["HI"].wcrt <= 3.5 + 1e-9
+        check_dominates_sim(res, sys_)
+
+    def test_dominates_simulation_pipeline(self):
+        j1 = Job.build("T1", [("P1", 2.0), ("P2", 1.0)], PeriodicArrivals(4.0), 16.0)
+        j2 = Job.build("T2", [("P1", 1.0), ("P2", 2.0)], PeriodicArrivals(6.0), 24.0)
+        sys_ = system_of([j1, j2], "spnp")
+        res = SpnpApproxAnalysis().analyze(sys_)
+        check_dominates_sim(res, sys_)
+
+    def test_upper_bounds_exact_spp_counterpart(self):
+        # SPNP bound of a preemption-free single-job chain equals the sum
+        # of its execution times.
+        job = Job.build("A", [("P1", 1.0), ("P2", 2.0)], PeriodicArrivals(9.0), 18.0)
+        res = SpnpApproxAnalysis().analyze(system_of([job], "spnp"))
+        assert res.jobs["A"].wcrt == pytest.approx(3.0)
+
+
+class TestFcfs:
+    def test_lone_job(self):
+        job = Job.build("A", [("P1", 1.5)], PeriodicArrivals(4.0), 8.0)
+        res = FcfsApproxAnalysis().analyze(system_of([job], "fcfs"))
+        assert res.jobs["A"].wcrt == pytest.approx(1.5)
+
+    def test_synchronous_batch(self):
+        a = Job.build("A", [("P1", 1.0)], PeriodicArrivals(10.0), 20.0)
+        b = Job.build("B", [("P1", 2.0)], PeriodicArrivals(10.0), 20.0)
+        sys_ = system_of([a, b], "fcfs")
+        res = FcfsApproxAnalysis().analyze(sys_)
+        # Simultaneous arrivals: either order possible; both must cover 3.
+        assert res.jobs["A"].wcrt >= 3.0 - 1e-9
+        assert res.jobs["B"].wcrt >= 3.0 - 1e-9
+        check_dominates_sim(res, sys_)
+
+    def test_dominates_simulation_pipeline(self):
+        j1 = Job.build("T1", [("P1", 2.0), ("P2", 1.0)], PeriodicArrivals(4.0), 16.0)
+        j2 = Job.build("T2", [("P1", 1.0), ("P2", 2.0)], PeriodicArrivals(6.0), 24.0)
+        sys_ = system_of([j1, j2], "fcfs")
+        res = FcfsApproxAnalysis().analyze(sys_)
+        check_dominates_sim(res, sys_)
+
+    def test_late_interferer_covered(self):
+        """The regression that motivated the busy-window hardening: an
+        interferer whose actual arrival is later than its earliest envelope
+        still delays the analyzed job (DESIGN.md section 3)."""
+        t1 = Job.build("T1", [("P2", 0.49), ("P3", 0.6)], PeriodicArrivals(1.95), 7.8)
+        t2 = Job.build("T2", [("P1", 0.6), ("P4", 0.3)], PeriodicArrivals(2.2), 8.8)
+        t3 = Job.build("T3", [("P2", 0.11), ("P4", 0.31)], PeriodicArrivals(1.66), 6.6)
+        sys_ = system_of([t1, t2, t3], "fcfs")
+        res = FcfsApproxAnalysis().analyze(sys_)
+        check_dominates_sim(res, sys_)
+
+
+class TestSppApprox:
+    def test_looser_than_exact(self):
+        j1 = Job.build("T1", [("P1", 2.0), ("P2", 1.0)], PeriodicArrivals(4.0), 16.0)
+        j2 = Job.build("T2", [("P1", 1.0), ("P2", 2.0)], PeriodicArrivals(6.0), 24.0)
+        sys_ = system_of([j1, j2], "spp")
+        exact = SppExactAnalysis().analyze(sys_)
+        approx = SppApproxAnalysis().analyze(sys_)
+        for jid in exact.jobs:
+            assert approx.jobs[jid].wcrt >= exact.jobs[jid].wcrt - 1e-9
+
+    def test_dominates_simulation(self):
+        j1 = Job.build("T1", [("P1", 2.0), ("P2", 1.0)], PeriodicArrivals(4.0), 16.0)
+        j2 = Job.build("T2", [("P1", 1.0), ("P2", 2.0)], PeriodicArrivals(6.0), 24.0)
+        sys_ = system_of([j1, j2], "spp")
+        res = SppApproxAnalysis().analyze(sys_)
+        check_dominates_sim(res, sys_)
+
+
+class TestMixed:
+    def test_heterogeneous_policies(self):
+        jobs = [
+            Job.build("A", [("cpu", 0.5), ("nic", 0.3)], PeriodicArrivals(5.0), 10.0),
+            Job.build("B", [("cpu", 0.4), ("nic", 0.5)], PeriodicArrivals(8.0), 16.0),
+        ]
+        sys_ = System(JobSet(jobs), policies={"cpu": "spp", "nic": "fcfs"})
+        assign_priorities_proportional_deadline(sys_)
+        res = CompositionalAnalysis().analyze(sys_)
+        assert res.method == "Mixed/App"
+        assert res.schedulable
+        check_dominates_sim(res, sys_)
+
+    def test_overload_guard(self):
+        job = Job.build("A", [("P1", 3.0)], PeriodicArrivals(2.0), 100.0)
+        sys_ = system_of([job], "fcfs")
+        res = FcfsApproxAnalysis().analyze(sys_)
+        assert math.isinf(res.jobs["A"].wcrt)
+
+    def test_keep_curves(self):
+        job = Job.build("A", [("P1", 1.0), ("P2", 1.0)], PeriodicArrivals(5.0), 10.0)
+        res = FcfsApproxAnalysis(keep_curves=True).analyze(system_of([job], "fcfs"))
+        assert len(res.jobs["A"].hops) == 2
+        assert math.isfinite(res.jobs["A"].hops[1].local_delay)

@@ -1,0 +1,79 @@
+"""Tests for the run-time admission controller."""
+
+import pytest
+
+from repro.analysis import AdmissionController
+from repro.model import BurstyArrivals, Job, PeriodicArrivals
+
+
+def stream(idx: int, wcet: float = 1.0, period: float = 4.0, deadline: float = 8.0):
+    return Job.build(
+        f"s{idx}", [("cpu", wcet)], PeriodicArrivals(period), deadline
+    )
+
+
+class TestAdmission:
+    def test_admits_until_overload(self):
+        ctl = AdmissionController("SPP/Exact")
+        admitted = 0
+        for i in range(8):
+            if ctl.request(stream(i)).admitted:
+                admitted += 1
+        # Each stream is 25% utilization with deadline 2 periods; three
+        # fit (0.75), the fourth pushes utilization to 1.0.
+        assert admitted == 3
+        assert len(ctl) == 3
+
+    def test_rejection_keeps_state(self):
+        ctl = AdmissionController("SPP/Exact")
+        assert ctl.request(stream(0)).admitted
+        bad = Job.build("hog", [("cpu", 10.0)], PeriodicArrivals(12.0), 5.0)
+        decision = ctl.request(bad)
+        assert not decision.admitted
+        assert "hog" not in ctl
+        assert "deadline misses" in decision.reason
+
+    def test_duplicate_rejected(self):
+        ctl = AdmissionController("SPP/Exact")
+        assert ctl.request(stream(0)).admitted
+        dup = ctl.request(stream(0))
+        assert not dup.admitted
+        assert dup.reason == "duplicate job id"
+
+    def test_release_frees_capacity(self):
+        ctl = AdmissionController("SPP/Exact")
+        for i in range(3):
+            assert ctl.request(stream(i)).admitted
+        assert not ctl.request(stream(3)).admitted
+        assert ctl.release("s0")
+        assert ctl.request(stream(3)).admitted
+        assert not ctl.release("nope")
+
+    def test_bursty_jobs_supported(self):
+        ctl = AdmissionController("SPP/Exact")
+        job = Job.build("burst", [("cpu", 0.5)], BurstyArrivals(0.4), 6.0)
+        assert ctl.request(job).admitted
+
+    def test_sl_method_rejects_bursty_gracefully(self):
+        ctl = AdmissionController("SPP/S&L")
+        job = Job.build("burst", [("cpu", 0.5)], BurstyArrivals(0.4), 6.0)
+        decision = ctl.request(job)
+        assert not decision.admitted
+        assert "periodic" in decision.reason
+
+    def test_current_bounds(self):
+        ctl = AdmissionController("SPP/Exact")
+        ctl.request(stream(0))
+        ctl.request(stream(1))
+        bounds = ctl.current_bounds()
+        assert set(bounds) == {"s0", "s1"}
+        assert all(b <= 8.0 for b in bounds.values())
+
+    def test_heterogeneous_policies(self):
+        ctl = AdmissionController(
+            "Mixed/App", policies={"cpu": "spp", "nic": "fcfs"}
+        )
+        job = Job.build(
+            "j", [("cpu", 1.0), ("nic", 0.5)], PeriodicArrivals(5.0), 10.0
+        )
+        assert ctl.request(job).admitted

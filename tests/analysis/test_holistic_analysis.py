@@ -1,0 +1,117 @@
+"""Unit tests for the SPP/S&L holistic baseline."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    HolisticSPPAnalysis,
+    SppExactAnalysis,
+)
+from repro.model import (
+    BurstyArrivals,
+    Job,
+    JobSet,
+    PeriodicArrivals,
+    System,
+    assign_priorities_explicit,
+    assign_priorities_proportional_deadline,
+)
+
+
+def spp_system(jobs, priorities=None):
+    sys_ = System(JobSet(jobs), "spp")
+    if priorities:
+        assign_priorities_explicit(sys_.job_set, priorities)
+    else:
+        assign_priorities_proportional_deadline(sys_)
+    return sys_
+
+
+class TestSingleProcessor:
+    def test_lone_job(self):
+        job = Job.build("A", [("P1", 1.0)], PeriodicArrivals(4.0), 4.0)
+        res = HolisticSPPAnalysis().analyze(spp_system([job]))
+        assert res.jobs["A"].wcrt == pytest.approx(1.0)
+
+    def test_classic_response_time(self):
+        # hi (C=1, T=2), lo (C=1, T=4): lo R = 2 via busy-period analysis.
+        hi = Job.build("HI", [("P1", 1.0)], PeriodicArrivals(2.0), 2.0)
+        lo = Job.build("LO", [("P1", 1.0)], PeriodicArrivals(4.0), 4.0)
+        sys_ = spp_system([hi, lo], {("HI", 0): 1, ("LO", 0): 2})
+        res = HolisticSPPAnalysis().analyze(sys_)
+        assert res.jobs["HI"].wcrt == pytest.approx(1.0)
+        assert res.jobs["LO"].wcrt == pytest.approx(2.0)
+
+    def test_matches_exact_on_single_processor(self):
+        """The paper: 'for a single processor system, both methods predict
+        the same response time' (Figure 3 (a)/(d) discussion)."""
+        jobs = [
+            Job.build("A", [("P1", 0.8)], PeriodicArrivals(3.0), 9.0),
+            Job.build("B", [("P1", 0.5)], PeriodicArrivals(4.0), 8.0),
+            Job.build("C", [("P1", 1.0)], PeriodicArrivals(7.0), 21.0),
+        ]
+        sys_ = spp_system(jobs)
+        exact = SppExactAnalysis().analyze(sys_)
+        holistic = HolisticSPPAnalysis().analyze(sys_)
+        for jid in exact.jobs:
+            assert holistic.jobs[jid].wcrt == pytest.approx(
+                exact.jobs[jid].wcrt, abs=1e-9
+            )
+
+
+class TestDistributed:
+    def test_dominates_exact_multi_stage(self):
+        j1 = Job.build("T1", [("P1", 2.0), ("P2", 1.0)], PeriodicArrivals(4.0), 8.0)
+        j2 = Job.build("T2", [("P1", 1.0), ("P2", 2.0)], PeriodicArrivals(6.0), 12.0)
+        sys_ = spp_system([j1, j2])
+        exact = SppExactAnalysis().analyze(sys_)
+        holistic = HolisticSPPAnalysis().analyze(sys_)
+        for jid in exact.jobs:
+            assert holistic.jobs[jid].wcrt >= exact.jobs[jid].wcrt - 1e-9
+
+    def test_strictly_looser_somewhere_multi_stage(self):
+        """The paper's headline: with more than one stage SPP/Exact is
+        strictly better than SPP/S&L for at least some jobs."""
+        j1 = Job.build("T1", [("P1", 2.0), ("P2", 1.0)], PeriodicArrivals(4.0), 8.0)
+        j2 = Job.build("T2", [("P1", 1.0), ("P2", 2.0)], PeriodicArrivals(6.0), 12.0)
+        sys_ = spp_system([j1, j2])
+        exact = SppExactAnalysis().analyze(sys_)
+        holistic = HolisticSPPAnalysis().analyze(sys_)
+        gaps = [
+            holistic.jobs[j].wcrt - exact.jobs[j].wcrt for j in exact.jobs
+        ]
+        assert max(gaps) > 1e-9
+
+    def test_jitter_propagation(self):
+        # Single job chain: no interference, jitter shouldn't inflate.
+        job = Job.build("A", [("P1", 1.0), ("P2", 2.0)], PeriodicArrivals(9.0), 18.0)
+        res = HolisticSPPAnalysis().analyze(spp_system([job]))
+        assert res.jobs["A"].wcrt == pytest.approx(3.0)
+
+
+class TestGuards:
+    def test_rejects_aperiodic(self):
+        job = Job.build("A", [("P1", 1.0)], BurstyArrivals(0.5), 5.0)
+        sys_ = spp_system([job])
+        with pytest.raises(AnalysisError):
+            HolisticSPPAnalysis().analyze(sys_)
+
+    def test_rejects_non_spp(self):
+        job = Job.build("A", [("P1", 1.0)], PeriodicArrivals(4.0), 4.0)
+        with pytest.raises(AnalysisError):
+            HolisticSPPAnalysis().analyze(System(JobSet([job]), "fcfs"))
+
+    def test_overload_infinite(self):
+        job = Job.build("A", [("P1", 3.0)], PeriodicArrivals(2.0), 100.0)
+        res = HolisticSPPAnalysis().analyze(spp_system([job]))
+        assert math.isinf(res.jobs["A"].wcrt)
+        assert not res.schedulable
+
+    def test_divergence_cutoff(self):
+        # Feasible utilization but deadlines tiny: still converges and
+        # reports a finite (miss) verdict.
+        a = Job.build("A", [("P1", 0.9)], PeriodicArrivals(1.0), 0.5)
+        res = HolisticSPPAnalysis().analyze(spp_system([a]))
+        assert not res.schedulable

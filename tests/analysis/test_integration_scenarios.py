@@ -1,0 +1,156 @@
+"""End-to-end integration scenarios exercising multiple subsystems."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AdmissionController,
+    CompositionalAnalysis,
+    FixpointAnalysis,
+    SppExactAnalysis,
+    StationaryAnalysis,
+    analyze,
+)
+from repro.model import (
+    BurstyArrivals,
+    Job,
+    JobSet,
+    LeakyBucketArrivals,
+    PeriodicArrivals,
+    SporadicArrivals,
+    System,
+    TraceArrivals,
+    assign_priorities_proportional_deadline,
+)
+from repro.sim import record_execution, render_gantt, simulate
+
+
+class TestMixedArrivalZoo:
+    """One system combining every arrival process the package supports."""
+
+    def build(self):
+        jobs = [
+            Job.build("per", [("P1", 0.4), ("P2", 0.3)], PeriodicArrivals(5.0), 15.0),
+            Job.build("bur", [("P1", 0.3), ("P2", 0.4)], BurstyArrivals(0.15), 20.0),
+            Job.build("spo", [("P2", 0.2)], SporadicArrivals(8.0), 10.0),
+            Job.build("lb", [("P1", 0.2)], LeakyBucketArrivals(0.1, 2.0), 12.0),
+            Job.build("trc", [("P2", 0.5)], TraceArrivals([1.0, 9.0, 33.0]), 14.0),
+        ]
+        sys_ = System(JobSet(jobs), "spp")
+        assign_priorities_proportional_deadline(sys_)
+        return sys_
+
+    def test_exact_analysis_handles_zoo(self):
+        res = SppExactAnalysis().analyze(self.build())
+        assert res.drained
+        assert all(math.isfinite(r.wcrt) for r in res.jobs.values())
+
+    def test_exact_matches_simulation_on_zoo(self):
+        sys_ = self.build()
+        res = SppExactAnalysis().analyze(sys_)
+        rep = res.horizon / 2
+        sim = simulate(sys_, horizon=res.horizon, report_window=rep)
+        for jid, er in res.jobs.items():
+            observed = sim.jobs[jid].max_response(rep)
+            if sim.jobs[jid].responses(rep).size:
+                assert observed == pytest.approx(er.wcrt, abs=1e-6)
+
+    def test_stationary_rejects_nothing(self):
+        res = StationaryAnalysis().analyze(self.build())
+        for jid, r in res.jobs.items():
+            if jid == "trc":
+                continue  # finite trace: envelope covers it trivially
+            assert math.isfinite(r.wcrt)
+
+
+class TestHeterogeneousPipelineWithEverything:
+    """Jitter + masked sections + mixed policies, validated against sim."""
+
+    def build(self):
+        jobs = [
+            Job(
+                "ctrl",
+                [
+                    __import__("repro.model", fromlist=["SubJob"]).SubJob(
+                        "ctrl", 0, "cpu", 0.8, nonpreemptive_section=0.2
+                    ),
+                    __import__("repro.model", fromlist=["SubJob"]).SubJob(
+                        "ctrl", 1, "nic", 0.4
+                    ),
+                ],
+                PeriodicArrivals(6.0),
+                18.0,
+                release_jitter=0.5,
+            ),
+            Job.build("bulk", [("cpu", 1.5), ("nic", 1.0)], PeriodicArrivals(9.0), 27.0),
+        ]
+        sys_ = System(JobSet(jobs), policies={"cpu": "spp", "nic": "fcfs"})
+        assign_priorities_proportional_deadline(sys_)
+        return sys_
+
+    def test_mixed_analysis_with_jitter_and_masking(self):
+        res = CompositionalAnalysis().analyze(self.build())
+        assert res.drained
+        assert res.schedulable
+
+    def test_bound_dominates_jittered_simulation(self):
+        sys_ = self.build()
+        res = CompositionalAnalysis().analyze(sys_)
+        rep = res.horizon / 2
+        for seed in range(5):
+            sim = simulate(
+                sys_, horizon=res.horizon, report_window=rep,
+                jitter_rng=np.random.default_rng(seed),
+            )
+            for jid, er in res.jobs.items():
+                assert sim.jobs[jid].max_response(rep) <= er.wcrt + 1e-6
+
+
+class TestControllerAcrossMethods:
+    @pytest.mark.parametrize("method", ["SPP/Exact", "SPP/App", "Stationary/NC"])
+    def test_admits_light_load(self, method):
+        ctl = AdmissionController(method)
+        job = Job.build("j", [("cpu", 0.5)], PeriodicArrivals(5.0), 10.0)
+        assert ctl.request(job).admitted
+
+    def test_stationary_controller_rejects_infeasible(self):
+        ctl = AdmissionController("Stationary/NC")
+        ok = Job.build("a", [("cpu", 1.0)], PeriodicArrivals(4.0), 12.0)
+        # Deadline below its own execution time: no ordering can help.
+        tight = Job.build("b", [("cpu", 2.9)], PeriodicArrivals(4.0), 2.0)
+        assert ctl.request(ok).admitted
+        assert not ctl.request(tight).admitted
+        assert len(ctl) == 1
+
+
+class TestGanttOnDistributedRun:
+    def test_gantt_records_two_processors(self):
+        jobs = [
+            Job.build("a", [("P1", 1.0), ("P2", 1.0)], TraceArrivals([0.0]), 10.0),
+            Job.build("b", [("P2", 2.0)], TraceArrivals([0.5]), 10.0),
+        ]
+        sys_ = System(JobSet(jobs), "spp")
+        assign_priorities_proportional_deadline(sys_)
+        result, trace = record_execution(sys_, horizon=10.0)
+        assert result.completed_all
+        assert set(trace.processors()) == {"P1", "P2"}
+        chart = render_gantt(trace)
+        assert "P1" in chart and "P2" in chart
+
+
+class TestFixpointMatchesCompositionalAcrossPolicies:
+    @pytest.mark.parametrize("policy", ["spnp", "fcfs"])
+    def test_agreement_on_acyclic(self, policy):
+        jobs = [
+            Job.build("x", [("S0P1", 1.0), ("S1P1", 0.5)], PeriodicArrivals(5.0), 25.0),
+            Job.build("y", [("S0P1", 0.5), ("S1P1", 1.0)], PeriodicArrivals(7.0), 35.0),
+        ]
+        sys_ = System(JobSet(jobs), policy)
+        if policy != "fcfs":
+            assign_priorities_proportional_deadline(sys_)
+        fix = FixpointAnalysis().analyze(sys_)
+        one = analyze(sys_, "Mixed/App")
+        for jid in one.jobs:
+            assert fix.jobs[jid].wcrt == pytest.approx(one.jobs[jid].wcrt, rel=1e-6)

@@ -1,0 +1,103 @@
+"""Tests for release-jitter support across the analyses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    HolisticSPPAnalysis,
+    SppApproxAnalysis,
+    SppExactAnalysis,
+    SpnpApproxAnalysis,
+    StationaryAnalysis,
+)
+from repro.model import (
+    Job,
+    JobSet,
+    PeriodicArrivals,
+    System,
+    assign_priorities_proportional_deadline,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.sim import simulate
+
+
+def jittered_system(jitter=1.0):
+    jobs = [
+        Job.build(
+            "J", [("P1", 1.0), ("P2", 1.0)], PeriodicArrivals(6.0), 20.0,
+            release_jitter=jitter,
+        ),
+        Job.build("K", [("P1", 0.5)], PeriodicArrivals(4.0), 16.0),
+    ]
+    sys_ = System(JobSet(jobs), "spp")
+    assign_priorities_proportional_deadline(sys_)
+    return sys_
+
+
+class TestModel:
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            Job.build("a", [("P1", 1.0)], PeriodicArrivals(4.0), 8.0,
+                      release_jitter=-1.0)
+
+    def test_io_round_trip(self):
+        sys_ = jittered_system(1.5)
+        clone = system_from_dict(system_to_dict(sys_))
+        assert clone.job_set["J"].release_jitter == 1.5
+        assert clone.job_set["K"].release_jitter == 0.0
+
+
+class TestAnalyses:
+    def test_exact_rejects_jitter(self):
+        with pytest.raises(AnalysisError, match="jitter"):
+            SppExactAnalysis().analyze(jittered_system())
+
+    def test_approx_bound_grows_with_jitter(self):
+        base = SppApproxAnalysis().analyze(jittered_system(0.0))
+        more = SppApproxAnalysis().analyze(jittered_system(2.0))
+        assert more.jobs["J"].wcrt >= base.jobs["J"].wcrt + 1.0
+
+    def test_holistic_seeds_jitter(self):
+        base = HolisticSPPAnalysis().analyze(jittered_system(0.0))
+        more = HolisticSPPAnalysis().analyze(jittered_system(2.0))
+        assert more.jobs["J"].wcrt >= base.jobs["J"].wcrt + 2.0 - 1e-9
+
+    def test_stationary_adds_jitter(self):
+        base = StationaryAnalysis().analyze(jittered_system(0.0))
+        more = StationaryAnalysis().analyze(jittered_system(2.0))
+        assert more.jobs["J"].wcrt >= base.jobs["J"].wcrt + 2.0 - 1e-9
+
+
+class TestValidation:
+    @pytest.mark.parametrize("analyzer_cls,policy", [
+        (SppApproxAnalysis, "spp"),
+        (SpnpApproxAnalysis, "spnp"),
+    ])
+    def test_bound_dominates_jittered_simulation(self, analyzer_cls, policy):
+        jobs = [
+            Job.build(
+                "J", [("P1", 1.0), ("P2", 1.0)], PeriodicArrivals(6.0), 40.0,
+                release_jitter=1.5,
+            ),
+            Job.build("K", [("P1", 0.5), ("P2", 0.8)], PeriodicArrivals(4.0), 40.0),
+        ]
+        sys_ = System(JobSet(jobs), policy)
+        assign_priorities_proportional_deadline(sys_)
+        res = analyzer_cls().analyze(sys_)
+        assert res.drained
+        rep = res.horizon / 2
+        worst = 0.0
+        for seed in range(8):
+            sim = simulate(
+                sys_, horizon=res.horizon, report_window=rep,
+                jitter_rng=np.random.default_rng(seed),
+            )
+            for jid, er in res.jobs.items():
+                observed = sim.jobs[jid].max_response(rep)
+                assert observed <= er.wcrt + 1e-6, (
+                    f"seed {seed} {jid}: bound {er.wcrt} < sim {observed}"
+                )

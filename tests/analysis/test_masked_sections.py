@@ -1,0 +1,131 @@
+"""Tests for non-preemptable sections (generalized Eq. 15 blocking)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    SppApproxAnalysis,
+    SppExactAnalysis,
+    blocking_time,
+)
+from repro.model import (
+    Job,
+    JobSet,
+    SubJob,
+    System,
+    TraceArrivals,
+    PeriodicArrivals,
+    assign_priorities_explicit,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.sim import simulate
+
+
+def masked_job(job_id, proc, wcet, section, arrivals, deadline):
+    sub = SubJob(
+        job_id=job_id, index=0, processor=proc, wcet=wcet,
+        nonpreemptive_section=section,
+    )
+    return Job(job_id=job_id, subjobs=[sub], arrivals=arrivals, deadline=deadline)
+
+
+def masked_system(section=2.0):
+    lo = masked_job("LO", "P1", 4.0, section, TraceArrivals([0.0]), 40.0)
+    hi = Job.build("HI", [("P1", 1.0)], TraceArrivals([0.5]), 40.0)
+    sys_ = System(JobSet([lo, hi]), "spp")
+    assign_priorities_explicit(sys_.job_set, {("LO", 0): 2, ("HI", 0): 1})
+    return sys_
+
+
+class TestModel:
+    def test_section_bounds_validated(self):
+        with pytest.raises(ValueError):
+            SubJob("a", 0, "P1", 1.0, nonpreemptive_section=2.0)
+        with pytest.raises(ValueError):
+            SubJob("a", 0, "P1", 1.0, nonpreemptive_section=-0.1)
+
+    def test_io_round_trip(self):
+        sys_ = masked_system(1.5)
+        clone = system_from_dict(system_to_dict(sys_))
+        assert clone.job_set.subjob("LO", 0).nonpreemptive_section == 1.5
+        assert clone.job_set.subjob("HI", 0).nonpreemptive_section == 0.0
+
+    def test_blocking_time_uses_sections_on_spp(self):
+        sys_ = masked_system(1.5)
+        hi = sys_.job_set.subjob("HI", 0)
+        assert blocking_time(sys_, hi) == 1.5
+
+    def test_blocking_time_spnp_still_full_wcet(self):
+        sys_ = masked_system(1.5)
+        hi = sys_.job_set.subjob("HI", 0)
+        from repro.model import SchedulingPolicy
+
+        assert blocking_time(sys_, hi, SchedulingPolicy.SPNP) == 4.0
+
+
+class TestSimulation:
+    def test_mask_delays_preemption(self):
+        # LO (mask 2) starts at 0; HI arrives at 0.5 but must wait until
+        # the mask ends at t=2, then runs [2,3]; LO resumes [3,5].
+        sim = simulate(masked_system(2.0), horizon=10.0)
+        assert sim.jobs["HI"].records[0].completion == pytest.approx(3.0)
+        assert sim.jobs["LO"].records[0].completion == pytest.approx(5.0)
+
+    def test_zero_mask_preempts_immediately(self):
+        sim = simulate(masked_system(0.0), horizon=10.0)
+        assert sim.jobs["HI"].records[0].completion == pytest.approx(1.5)
+
+    def test_full_mask_equals_spnp(self):
+        sim = simulate(masked_system(4.0), horizon=10.0)
+        assert sim.jobs["HI"].records[0].completion == pytest.approx(5.0)
+
+    def test_mask_only_covers_execution_prefix(self):
+        # HI arrives after the mask ended: immediate preemption.
+        lo = masked_job("LO", "P1", 4.0, 1.0, TraceArrivals([0.0]), 40.0)
+        hi = Job.build("HI", [("P1", 1.0)], TraceArrivals([2.0]), 40.0)
+        sys_ = System(JobSet([lo, hi]), "spp")
+        assign_priorities_explicit(sys_.job_set, {("LO", 0): 2, ("HI", 0): 1})
+        sim = simulate(sys_, horizon=10.0)
+        assert sim.jobs["HI"].records[0].completion == pytest.approx(3.0)
+
+
+class TestAnalysis:
+    def test_exact_rejects_masked(self):
+        with pytest.raises(AnalysisError, match="non-preemptable"):
+            SppExactAnalysis().analyze(masked_system(1.0))
+
+    def test_approx_bound_dominates_masked_simulation(self):
+        for section in [0.5, 1.5, 3.0]:
+            lo = masked_job(
+                "LO", "P1", 4.0, section, PeriodicArrivals(10.0), 40.0
+            )
+            hi = Job.build("HI", [("P1", 1.0)], PeriodicArrivals(9.0), 40.0)
+            sys_ = System(JobSet([lo, hi]), "spp")
+            assign_priorities_explicit(
+                sys_.job_set, {("LO", 0): 2, ("HI", 0): 1}
+            )
+            res = SppApproxAnalysis().analyze(sys_)
+            assert res.drained
+            rep = res.horizon / 2
+            sim = simulate(sys_, horizon=res.horizon, report_window=rep)
+            for jid, er in res.jobs.items():
+                observed = sim.jobs[jid].max_response(rep)
+                assert observed <= er.wcrt + 1e-6, (
+                    f"section={section} {jid}: {er.wcrt} < {observed}"
+                )
+
+    def test_bound_grows_with_section(self):
+        def bound(section):
+            lo = masked_job(
+                "LO", "P1", 4.0, section, PeriodicArrivals(10.0), 40.0
+            )
+            hi = Job.build("HI", [("P1", 1.0)], PeriodicArrivals(9.0), 40.0)
+            sys_ = System(JobSet([lo, hi]), "spp")
+            assign_priorities_explicit(
+                sys_.job_set, {("LO", 0): 2, ("HI", 0): 1}
+            )
+            return SppApproxAnalysis().analyze(sys_).jobs["HI"].wcrt
+
+        assert bound(0.0) < bound(2.0) <= bound(4.0)

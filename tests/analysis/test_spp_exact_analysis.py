@@ -1,0 +1,148 @@
+"""Unit tests for the exact SPP analysis (Theorems 1-3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    HorizonConfig,
+    SppExactAnalysis,
+    dependency_order,
+)
+from repro.model import (
+    Job,
+    JobSet,
+    PeriodicArrivals,
+    System,
+    TraceArrivals,
+    assign_priorities_explicit,
+    assign_priorities_proportional_deadline,
+)
+
+
+def spp_system(jobs, priorities=None):
+    sys_ = System(JobSet(jobs), "spp")
+    if priorities:
+        assign_priorities_explicit(sys_.job_set, priorities)
+    else:
+        assign_priorities_proportional_deadline(sys_)
+    return sys_
+
+
+class TestSingleProcessor:
+    def test_lone_periodic_job(self):
+        job = Job.build("A", [("P1", 1.0)], PeriodicArrivals(4.0), 4.0)
+        res = SppExactAnalysis().analyze(spp_system([job]))
+        assert res.jobs["A"].wcrt == pytest.approx(1.0)
+        assert res.schedulable
+        assert res.drained and res.converged
+
+    def test_two_jobs_rm_response(self):
+        # Classic: hi (C=1, T=2), lo (C=1, T=4): lo response = 2.
+        hi = Job.build("HI", [("P1", 1.0)], PeriodicArrivals(2.0), 2.0)
+        lo = Job.build("LO", [("P1", 1.0)], PeriodicArrivals(4.0), 4.0)
+        sys_ = spp_system([hi, lo], {("HI", 0): 1, ("LO", 0): 2})
+        res = SppExactAnalysis().analyze(sys_)
+        assert res.jobs["HI"].wcrt == pytest.approx(1.0)
+        assert res.jobs["LO"].wcrt == pytest.approx(2.0)
+
+    def test_full_utilization_harmonic(self):
+        # C=1,T=2 and C=1,T=2 at different priorities: util = 1.0; the
+        # utilization guard rejects (long-run busy period never drains).
+        a = Job.build("A", [("P1", 1.0)], PeriodicArrivals(2.0), 4.0)
+        b = Job.build("B", [("P1", 1.0)], PeriodicArrivals(2.0), 4.0)
+        res = SppExactAnalysis().analyze(spp_system([a, b]))
+        assert not res.schedulable
+
+    def test_response_time_increases_down_the_priority_order(self):
+        jobs = [
+            Job.build(f"J{i}", [("P1", 0.5)], PeriodicArrivals(4.0), 16.0)
+            for i in range(4)
+        ]
+        prios = {(f"J{i}", 0): i + 1 for i in range(4)}
+        res = SppExactAnalysis().analyze(spp_system(jobs, prios))
+        wcrts = [res.jobs[f"J{i}"].wcrt for i in range(4)]
+        assert wcrts == sorted(wcrts)
+        assert wcrts == pytest.approx([0.5, 1.0, 1.5, 2.0])
+
+    def test_deadline_miss_detected(self):
+        a = Job.build("A", [("P1", 3.0)], PeriodicArrivals(10.0), 2.0)
+        res = SppExactAnalysis().analyze(spp_system([a]))
+        assert not res.schedulable
+        assert res.jobs["A"].wcrt == pytest.approx(3.0)
+
+
+class TestDistributed:
+    def test_two_hop_pipeline(self):
+        job = Job.build("A", [("P1", 1.0), ("P2", 2.0)], PeriodicArrivals(5.0), 5.0)
+        res = SppExactAnalysis().analyze(spp_system([job]))
+        assert res.jobs["A"].wcrt == pytest.approx(3.0)
+
+    def test_pipeline_backlog_exact(self):
+        # Two quick releases into a slow second stage.
+        job = Job.build(
+            "A",
+            [("P1", 1.0), ("P2", 3.0)],
+            TraceArrivals([0.0, 1.0]),
+            50.0,
+        )
+        res = SppExactAnalysis().analyze(spp_system([job]))
+        # inst1: 0 -> 1 -> 4; inst2: 1 -> 2 -> 7 (waits for P2): wcrt 6.
+        assert res.jobs["A"].wcrt == pytest.approx(6.0)
+        assert np.allclose(res.jobs["A"].per_instance, [4.0, 6.0])
+
+    def test_worked_example_from_paper_model(self):
+        # The hand-verified cross-processor example used during
+        # development (see tests/analysis/test_validation.py for the
+        # randomized generalization).
+        j1 = Job.build("T1", [("P1", 2.0), ("P2", 1.0)], PeriodicArrivals(4.0), 8.0)
+        j2 = Job.build("T2", [("P1", 1.0), ("P2", 2.0)], PeriodicArrivals(6.0), 12.0)
+        sys_ = spp_system([j1, j2])
+        res = SppExactAnalysis().analyze(sys_)
+        assert res.jobs["T1"].wcrt == pytest.approx(4.0)
+        assert res.jobs["T2"].wcrt == pytest.approx(3.0)
+
+    def test_keep_curves(self):
+        job = Job.build("A", [("P1", 1.0), ("P2", 2.0)], PeriodicArrivals(5.0), 9.0)
+        res = SppExactAnalysis(keep_curves=True).analyze(spp_system([job]))
+        hops = res.jobs["A"].hops
+        assert len(hops) == 2
+        assert hops[0].service_lower is not None
+        assert hops[1].completion_times is not None
+
+
+class TestGuards:
+    def test_requires_uniform_spp(self):
+        job = Job.build("A", [("P1", 1.0)], PeriodicArrivals(4.0), 4.0)
+        sys_ = System(JobSet([job]), "fcfs")
+        with pytest.raises(AnalysisError):
+            SppExactAnalysis().analyze(sys_)
+
+    def test_requires_priorities(self):
+        job = Job.build("A", [("P1", 1.0)], PeriodicArrivals(4.0), 4.0)
+        sys_ = System(JobSet([job]), "spp")
+        with pytest.raises(ValueError):
+            SppExactAnalysis().analyze(sys_)
+
+    def test_overload_returns_infinite(self):
+        job = Job.build("A", [("P1", 3.0)], PeriodicArrivals(2.0), 10.0)
+        sys_ = spp_system([job])
+        res = SppExactAnalysis().analyze(sys_)
+        assert math.isinf(res.jobs["A"].wcrt)
+        assert not res.schedulable
+
+    def test_dependency_order_priorities_first(self):
+        hi = Job.build("HI", [("P1", 1.0)], PeriodicArrivals(2.0), 2.0)
+        lo = Job.build("LO", [("P1", 1.0)], PeriodicArrivals(4.0), 4.0)
+        sys_ = spp_system([hi, lo], {("HI", 0): 1, ("LO", 0): 2})
+        order = [s.key for s in dependency_order(sys_)]
+        assert order.index(("HI", 0)) < order.index(("LO", 0))
+
+    def test_custom_horizon_config(self):
+        job = Job.build("A", [("P1", 1.0)], PeriodicArrivals(4.0), 4.0)
+        cfg = HorizonConfig(initial=16.0, require_convergence=False)
+        res = SppExactAnalysis(horizon=cfg).analyze(spp_system([job]))
+        assert res.jobs["A"].wcrt == pytest.approx(1.0)
+        assert res.horizon == 16.0

@@ -1,0 +1,105 @@
+"""Tests for the stationary (envelope-based) analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import SppExactAnalysis, StationaryAnalysis
+from repro.model import (
+    BurstyArrivals,
+    Job,
+    JobSet,
+    PeriodicArrivals,
+    System,
+    assign_priorities_proportional_deadline,
+)
+from repro.sim import simulate
+from repro.workloads import ShopTopology, generate_periodic_jobset
+
+
+def spp(jobs):
+    sys_ = System(JobSet(jobs), "spp")
+    assign_priorities_proportional_deadline(sys_)
+    return sys_
+
+
+class TestBasics:
+    def test_lone_job(self):
+        job = Job.build("A", [("P1", 1.5)], PeriodicArrivals(4.0), 8.0)
+        res = StationaryAnalysis().analyze(spp([job]))
+        assert res.jobs["A"].wcrt == pytest.approx(1.5)
+        assert math.isinf(res.horizon)  # horizon-free by construction
+
+    def test_dominates_exact(self):
+        j1 = Job.build("T1", [("P1", 2.0), ("P2", 1.0)], PeriodicArrivals(4.0), 30.0)
+        j2 = Job.build("T2", [("P1", 1.0), ("P2", 2.0)], PeriodicArrivals(6.0), 30.0)
+        sys_ = spp([j1, j2])
+        st = StationaryAnalysis().analyze(sys_)
+        ex = SppExactAnalysis().analyze(sys_)
+        for jid in st.jobs:
+            assert st.jobs[jid].wcrt >= ex.jobs[jid].wcrt - 1e-6
+
+    def test_unstable_system_infinite(self):
+        a = Job.build("A", [("P1", 3.0)], PeriodicArrivals(2.0), 100.0)
+        b = Job.build("B", [("P1", 1.0)], PeriodicArrivals(10.0), 100.0)
+        res = StationaryAnalysis().analyze(spp([a, b]))
+        assert math.isinf(res.jobs["A"].wcrt) or math.isinf(res.jobs["B"].wcrt)
+        assert not res.schedulable
+
+    def test_bursty_supported(self):
+        job = Job.build("A", [("P1", 0.5), ("P2", 0.5)], BurstyArrivals(0.4), 20.0)
+        res = StationaryAnalysis().analyze(spp([job]))
+        assert math.isfinite(res.jobs["A"].wcrt)
+        assert res.jobs["A"].wcrt >= 1.0 - 1e-9
+
+    def test_spnp_and_fcfs_policies(self):
+        jobs = [
+            Job.build("A", [("P1", 1.0)], PeriodicArrivals(5.0), 20.0),
+            Job.build("B", [("P1", 2.0)], PeriodicArrivals(8.0), 20.0),
+        ]
+        for policy in ["spnp", "fcfs"]:
+            sys_ = System(JobSet(jobs), policy)
+            if policy != "fcfs":
+                assign_priorities_proportional_deadline(sys_)
+            res = StationaryAnalysis().analyze(sys_)
+            assert all(math.isfinite(r.wcrt) for r in res.jobs.values())
+
+    def test_keep_curves(self):
+        job = Job.build("A", [("P1", 1.0)], PeriodicArrivals(5.0), 20.0)
+        res = StationaryAnalysis(keep_curves=True).analyze(spp([job]))
+        assert res.jobs["A"].hops[0].service_lower is not None
+
+
+class TestValidation:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_dominates_simulation_random(self, seed):
+        rng = np.random.default_rng(seed)
+        js = generate_periodic_jobset(
+            ShopTopology(2, 2), 3, 0.5, 4.0, rng,
+            x_range=(0.2, 1.0), normalization="exact",
+        )
+        sys_ = System(js, "spp")
+        assign_priorities_proportional_deadline(sys_)
+        res = StationaryAnalysis().analyze(sys_)
+        sim = simulate(sys_, horizon=120.0)
+        for jid, er in res.jobs.items():
+            observed = sim.jobs[jid].max_response()
+            assert observed <= er.wcrt + 1e-6, (
+                f"seed {seed} job {jid}: stationary {er.wcrt} < sim {observed}"
+            )
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_dominates_exact_random(self, seed):
+        rng = np.random.default_rng(seed)
+        js = generate_periodic_jobset(
+            ShopTopology(2, 2), 3, 0.5, 4.0, rng,
+            x_range=(0.2, 1.0), normalization="exact",
+        )
+        sys_ = System(js, "spp")
+        assign_priorities_proportional_deadline(sys_)
+        st = StationaryAnalysis().analyze(sys_)
+        ex = SppExactAnalysis().analyze(sys_)
+        for jid in st.jobs:
+            if math.isfinite(ex.jobs[jid].wcrt):
+                assert st.jobs[jid].wcrt >= ex.jobs[jid].wcrt - 1e-6

@@ -1,0 +1,16 @@
+"""Shared test configuration.
+
+Hypothesis: the per-example deadline is disabled globally — several
+property tests drive full analyses or simulations whose first execution
+(JIT-less, cache-cold) can exceed the default 200 ms and would flake.
+Coverage is controlled through ``max_examples`` on each test instead.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,111 @@
+"""Extra Curve coverage: last_below, sampling grids, edge behaviors."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves import Curve
+
+
+class TestLastBelow:
+    def test_ramp(self):
+        f = Curve.identity()
+        assert f.last_below(5.0) == pytest.approx(5.0)
+
+    def test_step_stays_below_until_jump(self):
+        f = Curve.step_from_times([3.0], 2.0)
+        # f = 0 before 3, 2 from 3 on: sup{t : f(t) <= 1} = 3.
+        assert f.last_below(1.0) == pytest.approx(3.0)
+
+    def test_unbounded_when_flat(self):
+        f = Curve.constant(1.0)
+        assert math.isinf(f.last_below(5.0))
+
+    def test_value_already_above_at_zero(self):
+        f = Curve.constant(3.0)
+        assert f.last_below(1.0) == 0.0
+
+    def test_tail_extrapolation(self):
+        f = Curve([0.0, 2.0], [0.0, 1.0], final_slope=0.5)
+        # f(t) = 1 + 0.5 (t-2) beyond 2: f(t) <= 3 until t = 6.
+        assert f.last_below(3.0) == pytest.approx(6.0)
+
+    def test_vectorized(self):
+        f = Curve.identity()
+        out = f.last_below(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(out, [1.0, 2.0, 3.0])
+
+    def test_flat_segment_right_end(self):
+        f = Curve([0.0, 1.0, 5.0, 5.0], [0.0, 1.0, 1.0, 4.0], final_slope=0.0)
+        # f stays at 1 over [1, 5), jumps to 4 at 5: sup{f <= 1} = 5.
+        assert f.last_below(1.0) == pytest.approx(5.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=30.0), min_size=1, max_size=8),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=60)
+    def test_duality_with_first_crossing(self, times, v):
+        f = Curve.step_from_times(times, 1.0)
+        lb = f.last_below(v)
+        if math.isfinite(lb):
+            # Just before lb the curve is still <= v.
+            if lb > 1e-9:
+                assert f.value(lb * (1 - 1e-12)) <= v + 1e-6
+        fc = f.first_crossing(v + 0.5)
+        if math.isfinite(fc) and math.isfinite(lb):
+            # first time reaching above v is never before sup{<= v}.
+            assert fc >= lb - 1e-9 or f.value(0.0) > v
+
+
+class TestShiftAndScaleEdges:
+    def test_shift_x_preserves_jumps(self):
+        f = Curve.step_from_times([1.0], 2.0).shift_x(3.0)
+        assert f.value(3.9) == 0.0
+        assert f.value(4.0) == 2.0
+        assert f.value_left(4.0) == 0.0
+
+    def test_scale_zero_gives_zero(self):
+        f = Curve.step_from_times([1.0], 2.0).scale(0.0)
+        assert f.value(10.0) == 0.0
+
+    def test_shift_y_then_inverse(self):
+        f = Curve.identity().shift_y(2.0)
+        assert f.first_crossing(5.0) == pytest.approx(3.0)
+
+
+class TestSamplingAndDominance:
+    def test_sample_points_include_midpoints(self):
+        f = Curve([0.0, 4.0], [0.0, 4.0], final_slope=0.0)
+        pts = f.sample_points()
+        assert 2.0 in pts
+
+    def test_dominance_total_order_violations(self):
+        a = Curve.step_from_times([1.0], 1.0)
+        b = Curve.step_from_times([2.0], 2.0)
+        # a is above earlier, b later: neither dominates.
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_total_at(self):
+        f = Curve.identity()
+        assert f.total_at(7.0) == 7.0
+
+    def test_repr_smoke(self):
+        assert "Curve" in repr(Curve.step_from_times([1.0, 2.0], 1.0))
+
+
+class TestConstructorNoise:
+    def test_tiny_negative_diffs_clamped(self):
+        # y with 1e-12 dips from float noise must be accepted and clamped.
+        f = Curve([0.0, 1.0, 2.0], [0.0, 1.0, 1.0 - 1e-12], final_slope=0.0)
+        vals = np.atleast_1d(f.value(np.linspace(0, 3, 13)))
+        assert np.all(np.diff(vals) >= -1e-9)
+
+    def test_three_points_same_abscissa_collapse(self):
+        f = Curve([0.0, 1.0, 1.0, 1.0], [0.0, 1.0, 2.0, 3.0], final_slope=0.0)
+        assert f.value(1.0) == 3.0
+        assert f.value_left(1.0) == 1.0

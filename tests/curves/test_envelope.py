@@ -1,0 +1,181 @@
+"""Tests for interval-domain arrival envelopes and Cruz-style operators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.curves import Curve
+from repro.curves.envelope import (
+    envelope_of,
+    horizontal_deviation,
+    leaky_bucket_envelope,
+    leftover_service,
+    max_count_envelope,
+    periodic_envelope,
+    shift_envelope,
+)
+from repro.model import (
+    BurstyArrivals,
+    LeakyBucketArrivals,
+    PeriodicArrivals,
+    SporadicArrivals,
+    TraceArrivals,
+)
+
+
+def window_counts(times, delta):
+    """Brute-force maximal window count of a trace."""
+    ts = np.sort(np.asarray(times))
+    return max(
+        (np.count_nonzero((ts >= a) & (ts <= a + delta)) for a in ts),
+        default=0,
+    )
+
+
+class TestMaxCountEnvelope:
+    def test_empty_trace(self):
+        assert max_count_envelope([]).value(10.0) == 0.0
+
+    def test_single_release(self):
+        env = max_count_envelope([3.0])
+        assert env.value(0.0) == 1.0
+        assert env.value(100.0) == 1.0
+
+    def test_exact_against_bruteforce(self):
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0, 20, 15))
+        env = max_count_envelope(times)
+        for delta in [0.0, 0.5, 1.0, 3.0, 7.0, 20.0]:
+            assert env.value(delta) >= window_counts(times, delta) - 1e-9
+            # Tightness: equality at the envelope's own breakpoints.
+        for d in env.x:
+            assert env.value(d) == pytest.approx(window_counts(times, float(d)))
+
+    def test_burst_trace(self):
+        env = max_count_envelope([0.0, 0.1, 0.2, 10.0])
+        assert env.value(0.2) == 3.0
+        assert env.value(5.0) == 3.0
+        assert env.value(10.0) == 4.0
+
+    def test_height_scaling(self):
+        env = max_count_envelope([0.0, 1.0], height=2.5)
+        assert env.value(1.0) == 5.0
+
+
+class TestProcessEnvelopes:
+    def test_periodic_staircase(self):
+        env = periodic_envelope(4.0)
+        assert env.value(0.0) == 1.0
+        assert env.value(3.9) == 1.0
+        assert env.value(4.0) == 2.0
+        assert env.value(8.0) == 3.0
+
+    def test_periodic_covers_trace(self):
+        proc = PeriodicArrivals(3.0)
+        env = envelope_of(proc)
+        times = proc.release_times(60.0)
+        for delta in np.linspace(0, 30, 16):
+            assert env.value(delta) >= window_counts(times, delta) - 1e-9
+
+    def test_sporadic_uses_min_gap(self):
+        env = envelope_of(SporadicArrivals(2.0))
+        assert env.value(2.0) == 2.0
+
+    def test_leaky_bucket(self):
+        env = envelope_of(LeakyBucketArrivals(rho=0.5, sigma=3.0))
+        assert env.value(0.0) == 3.0
+        assert env.value(4.0) == pytest.approx(5.0)
+
+    def test_trace(self):
+        env = envelope_of(TraceArrivals([0.0, 1.0, 5.0]))
+        assert env.value(1.0) == 2.0
+
+    def test_bursty_covers_counts_incl_tail(self):
+        """The +2 cushion: for Eq. 27, count in any window of length L is
+        at most x*L + 2 (gaps approach 1/x from below)."""
+        proc = BurstyArrivals(0.45)
+        env = envelope_of(proc, horizon=50.0)
+        times = proc.release_times(400.0)
+        # Windows inside and beyond the sampled prefix.
+        for delta in [0.5, 2.0, 10.0, 60.0, 120.0, 250.0]:
+            assert env.value(delta) >= window_counts(times, delta) - 1e-9
+
+    def test_unknown_process_raises(self):
+        with pytest.raises(TypeError):
+            envelope_of(object())
+
+    def test_wcet_height(self):
+        env = envelope_of(PeriodicArrivals(4.0), height=1.5)
+        assert env.value(0.0) == 1.5
+
+
+class TestLeftoverService:
+    def test_no_interference(self):
+        beta = leftover_service(Curve.zero())
+        assert beta.value(5.0) == pytest.approx(5.0)
+
+    def test_blocking_shifts(self):
+        beta = leftover_service(Curve.zero(), blocking=2.0)
+        assert beta.value(2.0) == 0.0
+        assert beta.value(5.0) == pytest.approx(3.0)
+
+    def test_affine_interference(self):
+        alpha = leaky_bucket_envelope(0.5, 1.0)
+        beta = leftover_service(alpha)
+        # beta = (delta - 1 - 0.5 delta)+ = (0.5 delta - 1)+
+        assert beta.value(2.0) == pytest.approx(0.0)
+        assert beta.value(6.0) == pytest.approx(2.0)
+
+    def test_monotone(self):
+        alpha = periodic_envelope(3.0, height=1.5)
+        beta = leftover_service(alpha)
+        grid = np.linspace(0, 30, 121)
+        vals = np.atleast_1d(beta.value(grid))
+        assert np.all(np.diff(vals) >= -1e-9)
+
+
+class TestHorizontalDeviation:
+    def test_stable_affine_case(self):
+        alpha = leaky_bucket_envelope(0.5, 2.0)
+        beta = Curve.identity()
+        # d = sup (2 + 0.5 delta - delta ...): crossing of beta at alpha:
+        # beta^{-1}(alpha(delta)) - delta = 2 - 0.5 delta -> max at 0: 2.
+        assert horizontal_deviation(alpha, beta) == pytest.approx(2.0)
+
+    def test_unstable_returns_inf(self):
+        alpha = leaky_bucket_envelope(2.0, 1.0)  # rate 2 > server rate 1
+        assert math.isinf(horizontal_deviation(alpha, Curve.identity()))
+
+    def test_periodic_single_server(self):
+        # One instance per period, tau time units of work each.
+        alpha = periodic_envelope(10.0, height=3.0)
+        d = horizontal_deviation(alpha, Curve.identity())
+        assert d == pytest.approx(3.0)
+
+    def test_zero_arrivals(self):
+        assert horizontal_deviation(Curve.zero(), Curve.identity()) == 0.0
+
+
+class TestShiftEnvelope:
+    def test_zero_delay_identity(self):
+        alpha = periodic_envelope(4.0)
+        assert shift_envelope(alpha, 0.0) is alpha
+
+    def test_shift_values(self):
+        alpha = periodic_envelope(4.0)
+        out = shift_envelope(alpha, 1.5)
+        for delta in [0.0, 1.0, 4.0, 9.0]:
+            assert out.value(delta) == pytest.approx(alpha.value(delta + 1.5))
+
+    def test_shift_dominates_original(self):
+        alpha = periodic_envelope(4.0, height=2.0)
+        out = shift_envelope(alpha, 3.0)
+        grid = np.linspace(0, 30, 61)
+        assert np.all(
+            np.atleast_1d(out.value(grid)) >= np.atleast_1d(alpha.value(grid)) - 1e-9
+        )
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(Exception):
+            shift_envelope(periodic_envelope(4.0), -1.0)

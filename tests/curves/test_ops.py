@@ -1,0 +1,287 @@
+"""Unit tests for curve operators: sums, minima, availability, kernel."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.curves import (
+    Curve,
+    CurveError,
+    fcfs_service_bounds,
+    fcfs_utilization,
+    identity_minus,
+    min_curves,
+    service_transform,
+    sum_curves,
+)
+
+
+def grid_check(f, g, points, tol=1e-9):
+    for t in points:
+        assert f.value(t) == pytest.approx(g(t), abs=tol), f"mismatch at t={t}"
+
+
+class TestSumCurves:
+    def test_empty_sum_is_zero(self):
+        assert sum_curves([]).value(5.0) == 0.0
+
+    def test_single_curve_identity(self):
+        f = Curve.identity()
+        assert sum_curves([f]) is f
+
+    def test_sum_of_steps(self):
+        a = Curve.step_from_times([1.0], 2.0)
+        b = Curve.step_from_times([1.0, 3.0], 1.0)
+        s = sum_curves([a, b])
+        assert s.value(0.5) == 0.0
+        assert s.value(1.0) == 3.0
+        assert s.value(3.0) == 4.0
+        assert s.value_left(1.0) == 0.0
+
+    def test_sum_preserves_jumps(self):
+        a = Curve.step_from_times([2.0], 1.0)
+        s = sum_curves([a, Curve.identity()])
+        assert s.value_left(2.0) == pytest.approx(2.0)
+        assert s.value(2.0) == pytest.approx(3.0)
+
+    def test_final_slopes_add(self):
+        s = sum_curves([Curve.identity(), Curve.affine(0.5)])
+        assert s.value(10.0) == pytest.approx(15.0)
+
+    def test_sum_three(self):
+        curves = [Curve.step_from_times([float(i)], 1.0) for i in range(1, 4)]
+        s = sum_curves(curves)
+        assert s.value(3.0) == 3.0
+
+
+class TestMinCurves:
+    def test_min_of_identity_and_constant(self):
+        m = min_curves(Curve.identity(), Curve.constant(3.0))
+        assert m.value(1.0) == pytest.approx(1.0)
+        assert m.value(3.0) == pytest.approx(3.0)
+        assert m.value(10.0) == pytest.approx(3.0)
+
+    def test_crossing_point_inserted(self):
+        a = Curve([0.0], [0.0], final_slope=2.0)
+        b = Curve([0.0, 0.0], [0.0, 3.0], final_slope=0.5)
+        m = min_curves(a, b)
+        # a=2t, b=3+t/2 cross at t=2 -> value 4.
+        assert m.value(2.0) == pytest.approx(4.0)
+        assert m.value(1.0) == pytest.approx(2.0)
+        assert m.value(4.0) == pytest.approx(5.0)
+
+    def test_min_of_steps(self):
+        a = Curve.step_from_times([1.0, 2.0], 1.0)
+        b = Curve.step_from_times([1.5, 1.8], 1.0)
+        m = min_curves(a, b)
+        for t in [0.5, 1.0, 1.5, 1.8, 2.0, 3.0]:
+            assert m.value(t) == pytest.approx(
+                min(float(a.value(t)), float(b.value(t)))
+            )
+
+    def test_symmetry(self):
+        a = Curve.step_from_times([1.0], 3.0)
+        b = Curve.identity()
+        assert min_curves(a, b).approx_equal(min_curves(b, a))
+
+    def test_tail_crossing(self):
+        a = Curve([0.0, 1.0], [0.0, 5.0], final_slope=0.0)
+        b = Curve.identity()
+        m = min_curves(a, b)
+        # b=t overtaken by a=5 at t=5.
+        assert m.value(4.0) == pytest.approx(4.0)
+        assert m.value(6.0) == pytest.approx(5.0)
+
+
+class TestIdentityMinus:
+    def test_no_interference_is_identity(self):
+        b = identity_minus(Curve.zero())
+        assert b.value(5.0) == pytest.approx(5.0)
+
+    def test_with_lateness(self):
+        b = identity_minus(Curve.zero(), lateness=2.0)
+        assert b.value(1.0) == 0.0
+        assert b.value(2.0) == 0.0
+        assert b.value(5.0) == pytest.approx(3.0)
+
+    def test_subtract_service(self):
+        # Higher-priority service: ramp [0,2] then flat.
+        s = Curve([0.0, 2.0], [0.0, 2.0], final_slope=0.0)
+        b = identity_minus(s)
+        assert b.value(1.0) == pytest.approx(0.0)
+        assert b.value(2.0) == pytest.approx(0.0)
+        assert b.value(5.0) == pytest.approx(3.0)
+
+    def test_exact_mode_rejects_jumpy_total(self):
+        with pytest.raises(CurveError):
+            identity_minus(Curve.step_from_times([1.0], 1.0), mode="exact")
+
+    def test_exact_mode_rejects_superunit_slope(self):
+        fast = Curve([0.0], [0.0], final_slope=2.0)
+        with pytest.raises(CurveError):
+            identity_minus(fast, mode="exact")
+
+    def test_lower_mode_suffix_min(self):
+        # total with slope 2 on [0,1]: h dips; lower closure must never
+        # exceed the raw values.
+        total = Curve([0.0, 1.0, 1.0, 2.0], [0.0, 0.0, 0.0, 2.0], final_slope=0.0)
+        b = identity_minus(total, mode="lower")
+        raw = lambda t: max(0.0, t - float(total.value(t)))
+        for t in [0.0, 0.5, 1.0, 1.5, 2.0, 3.0]:
+            assert b.value(t) <= raw(t) + 1e-9
+        # And non-decreasing.
+        vals = np.atleast_1d(b.value(np.linspace(0, 4, 33)))
+        assert np.all(np.diff(vals) >= -1e-9)
+
+    def test_upper_mode_running_max(self):
+        total = Curve([0.0, 1.0, 1.0, 2.0], [0.0, 0.0, 0.0, 2.0], final_slope=0.0)
+        b = identity_minus(total, mode="upper")
+        raw = lambda t: max(0.0, t - float(total.value(t)))
+        for t in [0.0, 0.5, 1.0, 1.5, 2.0, 3.0]:
+            assert b.value(t) >= raw(t) - 1e-9
+        vals = np.atleast_1d(b.value(np.linspace(0, 4, 33)))
+        assert np.all(np.diff(vals) >= -1e-9)
+
+    def test_invalid_mode(self):
+        with pytest.raises(CurveError):
+            identity_minus(Curve.zero(), mode="sideways")
+
+    def test_negative_lateness_rejected(self):
+        with pytest.raises(CurveError):
+            identity_minus(Curve.zero(), lateness=-1.0)
+
+
+class TestServiceTransform:
+    """Theorem 3 semantics on hand-checkable scenarios."""
+
+    def test_single_instance_full_availability(self):
+        c = Curve.step_from_times([0.0], 3.0)
+        s = service_transform(Curve.identity(), c, t_end=20.0)
+        grid_check(s, lambda t: min(t, 3.0), [0, 1, 2, 3, 4, 10])
+
+    def test_late_instance(self):
+        c = Curve.step_from_times([5.0], 2.0)
+        s = service_transform(Curve.identity(), c, t_end=20.0)
+        grid_check(s, lambda t: max(0.0, min(t - 5.0, 2.0)), [0, 4, 5, 6, 7, 8])
+
+    def test_two_instances_with_gap(self):
+        c = Curve.step_from_times([0.0, 5.0], 3.0)
+        s = service_transform(Curve.identity(), c, t_end=30.0)
+        # busy [0,3], idle [3,5], busy [5,8]
+        expected = lambda t: min(t, 3.0) if t < 5 else min(t - 2.0, 6.0)
+        grid_check(s, expected, [0, 1, 3, 4, 5, 6, 8, 9, 20])
+
+    def test_backlogged_instances(self):
+        c = Curve.step_from_times([0.0, 1.0], 3.0)
+        s = service_transform(Curve.identity(), c, t_end=30.0)
+        # continuous busy period [0, 6]
+        grid_check(s, lambda t: min(t, 6.0), [0, 1, 3, 5, 6, 7])
+
+    def test_priority_interference(self):
+        # hp: tau=2 every 4; lp: tau=3 at t=0 -> lp served [2,4] and [6,7].
+        chp = Curve.step_from_times([0.0, 4.0, 8.0], 2.0)
+        shp = service_transform(Curve.identity(), chp, t_end=40.0)
+        a = identity_minus(shp)
+        clp = Curve.step_from_times([0.0], 3.0)
+        slp = service_transform(a, clp, t_end=40.0)
+        assert slp.first_crossing(3.0) == pytest.approx(7.0)
+        assert slp.value(4.0) == pytest.approx(2.0)
+        assert slp.value(6.0) == pytest.approx(2.0)
+
+    def test_lag_delays_service(self):
+        c = Curve.step_from_times([0.0], 2.0)
+        b = identity_minus(Curve.zero(), lateness=1.0)
+        s = service_transform(b, c, lag=1.0, t_end=20.0)
+        assert s.value(1.0) == 0.0
+        assert s.first_crossing(2.0) == pytest.approx(3.0)
+
+    def test_service_never_exceeds_availability(self):
+        c = Curve.step_from_times([0.0, 0.5, 1.0, 7.0], 1.5)
+        b = Curve([0.0, 4.0], [0.0, 2.0], final_slope=1.0)
+        s = service_transform(b, c, t_end=30.0)
+        for t in np.linspace(0, 30, 61):
+            assert s.value(t) <= b.value(t) + 1e-9
+
+    def test_lag0_service_never_exceeds_workload(self):
+        c = Curve.step_from_times([1.0, 2.0, 2.5], 2.0)
+        s = service_transform(Curve.identity(), c, t_end=30.0)
+        for t in np.linspace(0, 30, 61):
+            assert s.value(t) <= c.value(t) + 1e-9
+
+    def test_monotone_output(self):
+        c = Curve.step_from_times([0.0, 0.1, 5.0], 1.0)
+        b = identity_minus(
+            Curve([0.0, 2.0, 4.0], [0.0, 1.5, 2.0], final_slope=0.3), mode="upper"
+        )
+        s = service_transform(b, c, lag=0.7, t_end=30.0)
+        vals = np.atleast_1d(s.value(np.linspace(0, 30, 301)))
+        assert np.all(np.diff(vals) >= -1e-9)
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(CurveError):
+            service_transform(Curve.identity(), Curve.zero(), lag=-1.0)
+
+    def test_requires_step_workload(self):
+        with pytest.raises(CurveError):
+            service_transform(Curve.identity(), Curve.identity(), t_end=5.0)
+
+    def test_empty_workload_gives_zero_service(self):
+        s = service_transform(Curve.identity(), Curve.zero(), t_end=10.0)
+        assert s.value(10.0) == 0.0
+
+
+class TestFcfs:
+    def test_utilization_single_batch(self):
+        g = Curve.step_from_times([2.0], 3.0)
+        u = fcfs_utilization(g, t_end=20.0)
+        grid_check(u, lambda t: max(0.0, min(t - 2.0, 3.0)), [0, 2, 3, 5, 6, 10])
+
+    def test_utilization_is_work_conserving(self):
+        g = Curve.step_from_times([0.0, 1.0, 10.0], 2.0)
+        u = fcfs_utilization(g, t_end=40.0)
+        for t in np.linspace(0, 40, 81):
+            assert u.value(t) <= min(t, float(g.value(t))) + 1e-9
+
+    def test_service_bounds_single_flow(self):
+        tau = 2.0
+        c = Curve.step_from_times([0.0, 5.0], tau)
+        lo, up = fcfs_service_bounds(c, c, tau, t_end=30.0)
+        # Alone on the processor: lower bound jumps at true completions.
+        assert lo.first_crossing(tau) == pytest.approx(2.0)
+        assert lo.first_crossing(2 * tau) == pytest.approx(7.0)
+        assert up.dominates(lo)
+
+    def test_two_flows_share_in_arrival_order(self):
+        tau = 1.0
+        ca = Curve.step_from_times([0.0], tau)
+        cb = Curve.step_from_times([0.5], tau)
+        g = sum_curves([ca, cb])
+        lo_a, up_a = fcfs_service_bounds(ca, g, tau, t_end=20.0)
+        lo_b, up_b = fcfs_service_bounds(cb, g, tau, t_end=20.0)
+        # a served [0,1], b served [1,2].
+        assert lo_a.first_crossing(tau) == pytest.approx(1.0)
+        assert lo_b.first_crossing(tau) == pytest.approx(2.0)
+
+    def test_simultaneous_arrivals_bracketed(self):
+        tau = 1.0
+        ca = Curve.step_from_times([0.0], tau)
+        cb = Curve.step_from_times([0.0], tau)
+        g = sum_curves([ca, cb])
+        lo_a, up_a = fcfs_service_bounds(ca, g, tau, t_end=20.0)
+        # The tie means a may be served first or second: the lower bound
+        # must not credit completion before t=2, the upper not after t=1.
+        assert lo_a.first_crossing(tau) >= 2.0 - 1e-9
+        assert up_a.value(1.0) >= tau - 1e-9
+
+    def test_upper_bound_capped_by_workload(self):
+        tau = 2.0
+        c = Curve.step_from_times([3.0], tau)
+        lo, up = fcfs_service_bounds(c, c, tau, t_end=20.0)
+        assert up.value(1.0) <= 0.0 + 1e-9
+        assert up.value(3.0) <= tau + 1e-9
+
+    def test_empty_processor(self):
+        c = Curve.zero()
+        lo, up = fcfs_service_bounds(c, Curve.zero(), 1.0, t_end=10.0)
+        assert lo.value(10.0) == 0.0

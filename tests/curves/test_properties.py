@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) for the curve algebra invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.curves import (
+    Curve,
+    fcfs_service_bounds,
+    fcfs_utilization,
+    identity_minus,
+    min_curves,
+    service_transform,
+    sum_curves,
+)
+
+# -- strategies ------------------------------------------------------------
+
+times_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=12,
+)
+
+height_strategy = st.floats(min_value=0.05, max_value=5.0)
+
+
+@st.composite
+def step_curves(draw):
+    times = draw(times_strategy)
+    height = draw(height_strategy)
+    return Curve.step_from_times(times, height)
+
+
+@st.composite
+def continuous_curves(draw):
+    """Random continuous non-decreasing PLF with slopes in [0, 1]."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    dx = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=n, max_size=n
+        )
+    )
+    slopes = draw(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=n, max_size=n)
+    )
+    xs = np.concatenate(([0.0], np.cumsum(dx)))
+    ys = np.concatenate(([0.0], np.cumsum(np.asarray(slopes) * np.asarray(dx))))
+    fs = draw(st.floats(min_value=0.0, max_value=1.0))
+    return Curve(xs, ys, fs)
+
+
+def eval_grid(*curves, t_max=80.0, n=160):
+    pts = [np.linspace(0.0, t_max, n)]
+    for c in curves:
+        pts.append(c.x)
+    grid = np.unique(np.concatenate(pts))
+    return grid[grid <= t_max]
+
+
+# -- Curve invariants --------------------------------------------------------
+
+
+@given(step_curves())
+def test_step_curve_non_decreasing(c):
+    grid = eval_grid(c)
+    vals = np.atleast_1d(c.value(grid))
+    assert np.all(np.diff(vals) >= -1e-9)
+
+
+@given(step_curves(), st.floats(min_value=0.0, max_value=60.0))
+def test_left_limit_below_value(c, t):
+    assert c.value_left(t) <= c.value(t) + 1e-9
+
+
+@given(step_curves(), st.floats(min_value=0.0, max_value=200.0))
+def test_first_crossing_galois(c, v):
+    s = c.first_crossing(v)
+    if math.isinf(s):
+        # v is never reached: the curve stays below it everywhere we look.
+        assert c.value(1e6) < v
+    else:
+        assert c.value(s) >= v - 1e-6
+        if s > 1e-6:
+            assert c.value(s * (1 - 1e-9) - 1e-9) <= v + 1e-6
+
+
+@given(step_curves())
+def test_canonical_roundtrip(c):
+    c2 = Curve(c.x, c.y, c.final_slope)
+    assert c2.approx_equal(c)
+
+
+@given(step_curves(), st.floats(min_value=0.01, max_value=4.0))
+def test_scale_linear(c, k):
+    grid = eval_grid(c)
+    a = np.atleast_1d(c.scale(k).value(grid))
+    b = k * np.atleast_1d(c.value(grid))
+    assert np.allclose(a, b)
+
+
+# -- operator properties -----------------------------------------------------
+
+
+@given(st.lists(step_curves(), min_size=0, max_size=4))
+def test_sum_pointwise(curves):
+    s = sum_curves(curves)
+    grid = eval_grid(s, *curves)
+    expect = np.zeros_like(grid)
+    for c in curves:
+        expect += np.atleast_1d(c.value(grid))
+    assert np.allclose(np.atleast_1d(s.value(grid)), expect, atol=1e-7)
+
+
+@given(step_curves(), step_curves())
+def test_min_pointwise(a, b):
+    m = min_curves(a, b)
+    grid = eval_grid(m, a, b)
+    got = np.atleast_1d(m.value(grid))
+    expect = np.minimum(np.atleast_1d(a.value(grid)), np.atleast_1d(b.value(grid)))
+    assert np.allclose(got, expect, atol=1e-7)
+
+
+@given(continuous_curves(), st.floats(min_value=0.0, max_value=5.0))
+def test_identity_minus_bounds(total, lateness):
+    b = identity_minus(total, lateness=lateness, mode="lower")
+    grid = eval_grid(b, total)
+    vals = np.atleast_1d(b.value(grid))
+    raw = np.maximum(0.0, grid - lateness - np.atleast_1d(total.value(grid)))
+    assert np.all(np.diff(vals) >= -1e-9)  # monotone
+    assert np.all(vals <= raw + 1e-7)  # never above the raw availability
+
+
+# -- service transform properties ---------------------------------------------
+
+
+@given(continuous_curves(), step_curves())
+@settings(max_examples=60)
+def test_service_transform_sandwich(b, c):
+    """0 <= S <= min(B, c) and S is non-decreasing (Theorem 3 kernel)."""
+    s = service_transform(b, c, t_end=100.0)
+    grid = eval_grid(s, b, c, t_max=100.0)
+    sv = np.atleast_1d(s.value(grid))
+    bv = np.atleast_1d(b.value(grid))
+    cv = np.atleast_1d(c.value(grid))
+    assert np.all(sv >= -1e-9)
+    assert np.all(sv <= bv + 1e-7)
+    assert np.all(sv <= cv + 1e-7)
+    assert np.all(np.diff(sv) >= -1e-9)
+
+
+@given(step_curves())
+@settings(max_examples=60)
+def test_service_transform_full_availability_is_busy_period(c):
+    """With B(t)=t the kernel realizes exact busy-period service: it works
+    whenever backlog exists, so completion of the total workload happens at
+    the classic busy-period fixpoint."""
+    s = service_transform(Curve.identity(), c, t_end=200.0)
+    total = float(c.value(200.0))
+    if total > 0:
+        done = s.first_crossing(total)
+        # Work-conserving: done <= last arrival + total work.
+        jumps = c.jump_times()
+        assert done <= (jumps[-1] if jumps.size else 0.0) + total + 1e-6
+        # And no earlier than total work.
+        assert done >= total - 1e-9
+
+
+@given(continuous_curves(), step_curves(), st.floats(min_value=0.0, max_value=3.0))
+@settings(max_examples=60)
+def test_lagged_kernel_capped_sandwich(b, c, lag):
+    """The SPNP composite (lagged kernel capped by workload, as used by the
+    analysis pipeline) stays within [0, min(B, c)] and is monotone.  Note
+    the *uncapped* lagged kernel may exceed ``c`` -- shrinking the minimum
+    window [0, t-lag] can only raise the minimum -- which is exactly why
+    the pipeline applies the cap (DESIGN.md section 3)."""
+    s1 = min_curves(service_transform(b, c, lag=lag, t_end=100.0), c)
+    grid = eval_grid(s1, b, c, t_max=100.0)
+    sv = np.atleast_1d(s1.value(grid))
+    assert np.all(sv >= -1e-9)
+    assert np.all(sv <= np.atleast_1d(b.value(grid)) + 1e-7)
+    assert np.all(sv <= np.atleast_1d(c.value(grid)) + 1e-7)
+    assert np.all(np.diff(sv) >= -1e-9)
+
+
+# -- FCFS properties ----------------------------------------------------------
+
+
+@given(st.lists(step_curves(), min_size=1, max_size=3))
+@settings(max_examples=50)
+def test_fcfs_bounds_bracket_and_cap(flows):
+    g = sum_curves(flows)
+    u = fcfs_utilization(g, t_end=150.0)
+    grid = eval_grid(g, u, t_max=150.0)
+    uv = np.atleast_1d(u.value(grid))
+    gv = np.atleast_1d(g.value(grid))
+    # Utilization is work-conserving and causal.
+    assert np.all(uv <= grid + 1e-7)
+    assert np.all(uv <= gv + 1e-7)
+    assert np.all(np.diff(uv) >= -1e-9)
+    c = flows[0]
+    tau = float(np.diff(c.y).max()) if c.y.size > 1 else 1.0
+    assume(tau > 0)
+    lo, up = fcfs_service_bounds(c, g, tau, t_end=150.0, U=u)
+    lov = np.atleast_1d(lo.value(grid))
+    upv = np.atleast_1d(up.value(grid))
+    cv = np.atleast_1d(c.value(grid))
+    assert np.all(lov <= upv + 1e-7)  # bracket
+    assert np.all(lov <= cv + 1e-7)  # causal
+    assert np.all(lov <= uv + 1e-7)  # within total service
+    assert np.all(np.diff(lov) >= -1e-9)
+    assert np.all(np.diff(upv) >= -1e-9)
+
+
+@given(step_curves())
+@settings(max_examples=50)
+def test_fcfs_single_flow_lower_bound_is_exact_completion(c):
+    """A flow alone on an FCFS processor is served like a busy period;
+    the lower bound's crossings match the exact kernel's."""
+    total = float(c.value(1e6))
+    assume(total > 0)
+    heights = np.diff(c.y)
+    tau = float(heights[heights > 1e-12].min())
+    lo, _up = fcfs_service_bounds(c, c, tau, t_end=300.0)
+    exact = service_transform(Curve.identity(), c, t_end=300.0)
+    # Completion of the full backlog agrees.
+    a = lo.first_crossing(total)
+    b = exact.first_crossing(total)
+    if math.isfinite(a) and math.isfinite(b):
+        assert a == pytest.approx(b, abs=1e-6)

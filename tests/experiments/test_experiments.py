@@ -1,0 +1,152 @@
+"""Tests for the admission-probability experiment harness (tiny configs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    Figure3Config,
+    Figure4Config,
+    admission_probability,
+    format_ascii_chart,
+    format_figure,
+    format_panel,
+    run_figure3,
+    run_figure4,
+    sweep,
+)
+from repro.experiments.admission import METHOD_POLICY, AdmissionCurve, AdmissionPoint
+from repro.model import Job, JobSet, PeriodicArrivals
+from repro.workloads import ShopTopology, generate_periodic_jobset
+
+
+def trivially_schedulable_jobset():
+    return JobSet([Job.build("A", [("P1", 0.1)], PeriodicArrivals(10.0), 20.0)])
+
+
+def trivially_unschedulable_jobset():
+    return JobSet([Job.build("A", [("P1", 5.0)], PeriodicArrivals(10.0), 1.0)])
+
+
+class TestAdmissionProbability:
+    def test_all_admitted(self):
+        p = admission_probability(
+            [trivially_schedulable_jobset()] * 3, ["SPP/Exact", "FCFS/App"]
+        )
+        assert p == {"SPP/Exact": 1.0, "FCFS/App": 1.0}
+
+    def test_none_admitted(self):
+        p = admission_probability(
+            [trivially_unschedulable_jobset()] * 2, ["SPP/Exact"]
+        )
+        assert p == {"SPP/Exact": 0.0}
+
+    def test_mixture(self):
+        sets = [trivially_schedulable_jobset(), trivially_unschedulable_jobset()]
+        p = admission_probability(sets, ["SPP/Exact"])
+        assert p["SPP/Exact"] == pytest.approx(0.5)
+
+    def test_sl_rejects_aperiodic_gracefully(self):
+        from repro.model import BurstyArrivals
+
+        js = JobSet([Job.build("A", [("P1", 0.1)], BurstyArrivals(0.2), 20.0)])
+        p = admission_probability([js], ["SPP/S&L", "SPP/Exact"])
+        assert p["SPP/S&L"] == 0.0  # cannot analyze -> reject
+        assert p["SPP/Exact"] == 1.0
+
+    def test_method_policy_table(self):
+        assert METHOD_POLICY["FCFS/App"].value == "fcfs"
+        assert METHOD_POLICY["SPNP/App"].value == "spnp"
+
+
+class TestSweep:
+    def test_monotone_in_utilization(self):
+        topo = ShopTopology(1, 1)
+        rng = np.random.default_rng(0)
+
+        def mk(u, r):
+            return generate_periodic_jobset(
+                topo, 3, u, 2.0, r, normalization="exact"
+            )
+
+        curve = sweep(
+            "t", (0.3, 0.95), ("SPP/Exact",), mk, 15, rng
+        )
+        probs = curve.series("SPP/Exact")
+        assert probs[0] >= probs[1]  # admission falls with utilization
+
+    def test_parallel_equals_serial(self):
+        topo = ShopTopology(1, 1)
+
+        def mk(u, r):
+            return generate_periodic_jobset(
+                topo, 2, u, 2.0, r, normalization="exact"
+            )
+
+        a = sweep("s", (0.6,), ("SPP/Exact",), mk, 8, np.random.default_rng(1))
+        b = sweep(
+            "p", (0.6,), ("SPP/Exact",), mk, 8, np.random.default_rng(1), n_workers=2
+        )
+        assert a.series("SPP/Exact") == b.series("SPP/Exact")
+
+
+class TestFigures:
+    def test_figure3_tiny(self):
+        cfg = Figure3Config(
+            stages=(1,),
+            deadline_factors=(2.0,),
+            utilizations=(0.4,),
+            n_sets=6,
+            jobs_per_set=3,
+        )
+        curves = run_figure3(cfg)
+        assert len(curves) == 1
+        point = curves[0].points[0]
+        assert point.n_sets == 6
+        # Exact and S&L coincide on a single stage (paper's Fig. 3 (a)/(d)).
+        assert point.admitted["SPP/Exact"] == point.admitted["SPP/S&L"]
+
+    def test_figure4_tiny(self):
+        cfg = Figure4Config(
+            deadline_means=(3.0,),
+            deadline_variances=(2.0,),
+            utilizations=(0.4,),
+            n_sets=6,
+            jobs_per_set=3,
+        )
+        curves = run_figure4(cfg)
+        assert len(curves) == 1
+        for m in ("SPP/Exact", "SPNP/App", "FCFS/App"):
+            assert 0.0 <= curves[0].points[0].probability(m) <= 1.0
+
+    def test_figure3_panel_count(self):
+        cfg = Figure3Config(
+            stages=(1, 2),
+            deadline_factors=(2.0, 4.0),
+            utilizations=(0.5,),
+            n_sets=2,
+            jobs_per_set=2,
+        )
+        assert len(run_figure3(cfg)) == 4
+
+
+class TestRendering:
+    def make_curve(self):
+        c = AdmissionCurve(label="demo", methods=["A", "B"])
+        c.points = [
+            AdmissionPoint(0.3, 10, {"A": 10, "B": 8}),
+            AdmissionPoint(0.6, 10, {"A": 7, "B": 3}),
+        ]
+        return c
+
+    def test_format_panel(self):
+        text = format_panel(self.make_curve())
+        assert "demo" in text and "0.300" in text and "0.700" in text
+
+    def test_ascii_chart(self):
+        text = format_ascii_chart(self.make_curve())
+        assert "util 0.30 .. 0.60" in text
+        assert "*=A" in text
+
+    def test_format_figure(self):
+        text = format_figure([self.make_curve()], "Figure X")
+        assert "=== Figure X ===" in text

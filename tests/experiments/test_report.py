@@ -1,0 +1,62 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments import analysis_report
+from repro.model import (
+    BurstyArrivals,
+    Job,
+    JobSet,
+    PeriodicArrivals,
+    System,
+    assign_priorities_proportional_deadline,
+)
+
+
+def demo_system():
+    jobs = [
+        Job.build("a", [("cpu", 1.0), ("nic", 0.5)], PeriodicArrivals(5.0), 10.0),
+        Job.build("b", [("cpu", 0.5)], BurstyArrivals(0.3), 8.0),
+    ]
+    system = System(JobSet(jobs), policies={"cpu": "spp", "nic": "fcfs"})
+    assign_priorities_proportional_deadline(system)
+    return system
+
+
+class TestAnalysisReport:
+    def test_contains_sections(self):
+        text = analysis_report(demo_system(), methods=["Mixed/App"])
+        for heading in ["## System", "## Worst-case", "## Verdicts", "## Simulation"]:
+            assert heading in text
+
+    def test_contains_jobs_and_methods(self):
+        text = analysis_report(demo_system(), methods=["Mixed/App", "Stationary/NC"])
+        assert "| a |" in text and "| b |" in text
+        assert "Mixed/App" in text and "Stationary/NC" in text
+
+    def test_no_simulation_section_when_disabled(self):
+        text = analysis_report(
+            demo_system(), methods=["Mixed/App"], simulate_check=False
+        )
+        assert "## Simulation" not in text
+
+    def test_inapplicable_method_reported(self):
+        # S&L cannot analyze the bursty job; the report says so instead of
+        # crashing.
+        text = analysis_report(demo_system(), methods=["SPP/S&L"], simulate_check=False)
+        assert "n/a" in text
+        assert "not applicable" in text
+
+    def test_miss_marked(self):
+        jobs = [Job.build("x", [("cpu", 5.0)], PeriodicArrivals(10.0), 1.0)]
+        system = System(JobSet(jobs), "spp")
+        assign_priorities_proportional_deadline(system)
+        text = analysis_report(system, methods=["SPP/Exact"], simulate_check=False)
+        assert "**MISS**" in text
+
+    def test_custom_title(self):
+        text = analysis_report(
+            demo_system(), methods=["Mixed/App"], simulate_check=False,
+            title="My Review",
+        )
+        assert text.startswith("# My Review")

@@ -1,0 +1,152 @@
+"""Tests for JSON (de)serialization of systems."""
+
+import json
+
+import pytest
+
+from repro.model import (
+    BurstyArrivals,
+    Job,
+    JobSet,
+    LeakyBucketArrivals,
+    PeriodicArrivals,
+    SchedulingPolicy,
+    SporadicArrivals,
+    System,
+    TraceArrivals,
+    assign_priorities_proportional_deadline,
+    load_system,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+
+EXAMPLE = {
+    "policies": {"cpu": "spp", "nic": "fcfs"},
+    "jobs": [
+        {
+            "id": "control",
+            "deadline": 20.0,
+            "arrivals": {"type": "periodic", "period": 10.0},
+            "route": [["cpu", 2.0], ["nic", 1.0]],
+        },
+        {
+            "id": "stream",
+            "deadline": 25.0,
+            "arrivals": {"type": "bursty", "x": 0.2},
+            "route": [["cpu", 1.0], ["nic", 2.0]],
+        },
+    ],
+}
+
+
+class TestFromDict:
+    def test_structure(self):
+        system = system_from_dict(EXAMPLE)
+        assert len(system.job_set) == 2
+        assert system.policy("cpu") == SchedulingPolicy.SPP
+        assert system.policy("nic") == SchedulingPolicy.FCFS
+        assert isinstance(system.job_set["stream"].arrivals, BurstyArrivals)
+
+    def test_default_priority_assignment_is_eq24(self):
+        system = system_from_dict(EXAMPLE)
+        system.validate()  # priorities assigned on the SPP processor
+
+    def test_explicit_priorities(self):
+        data = {
+            "priority_assignment": "explicit",
+            "jobs": [
+                {
+                    "id": "a",
+                    "deadline": 5.0,
+                    "arrivals": {"type": "periodic", "period": 2.0},
+                    "route": [["P1", 1.0, 7]],
+                }
+            ],
+        }
+        system = system_from_dict(data)
+        assert system.job_set.subjob("a", 0).priority == 7
+
+    def test_all_arrival_types(self):
+        for arr in [
+            {"type": "periodic", "period": 3.0, "offset": 1.0},
+            {"type": "bursty", "x": 0.4},
+            {"type": "sporadic", "min_gap": 2.0},
+            {"type": "leaky_bucket", "rho": 0.5, "sigma": 2.0},
+            {"type": "trace", "times": [0.0, 1.5]},
+        ]:
+            data = {
+                "jobs": [
+                    {
+                        "id": "a",
+                        "deadline": 5.0,
+                        "arrivals": arr,
+                        "route": [["P1", 1.0]],
+                    }
+                ]
+            }
+            system = system_from_dict(data)
+            assert len(system.job_set) == 1
+
+    def test_unknown_arrival_type(self):
+        data = {
+            "jobs": [
+                {
+                    "id": "a",
+                    "deadline": 5.0,
+                    "arrivals": {"type": "poisson", "rate": 1.0},
+                    "route": [["P1", 1.0]],
+                }
+            ]
+        }
+        with pytest.raises(ValueError):
+            system_from_dict(data)
+
+    def test_unknown_assignment(self):
+        data = dict(EXAMPLE, priority_assignment="magic")
+        with pytest.raises(ValueError):
+            system_from_dict(data)
+
+    def test_rate_monotonic_assignment(self):
+        data = dict(EXAMPLE, priority_assignment="rate_monotonic")
+        system = system_from_dict(data)
+        system.validate()
+
+
+class TestRoundTrip:
+    def build(self):
+        jobs = [
+            Job.build("a", [("P1", 1.0)], PeriodicArrivals(4.0, 0.5), 8.0),
+            Job.build("b", [("P1", 0.5), ("P2", 1.5)], SporadicArrivals(3.0), 9.0),
+            Job.build("c", [("P2", 0.2)], LeakyBucketArrivals(0.5, 2.0), 7.0),
+            Job.build("d", [("P2", 0.3)], TraceArrivals([0.0, 2.0]), 6.0),
+        ]
+        system = System(JobSet(jobs), policies={"P1": "spnp", "P2": "fcfs"})
+        assign_priorities_proportional_deadline(system)
+        return system
+
+    def test_dict_round_trip(self):
+        system = self.build()
+        data = system_to_dict(system)
+        clone = system_from_dict(data)
+        assert len(clone.job_set) == len(system.job_set)
+        for job in system.job_set:
+            other = clone.job_set[job.job_id]
+            assert other.deadline == job.deadline
+            assert [s.wcet for s in other.subjobs] == [s.wcet for s in job.subjobs]
+            assert [s.priority for s in other.subjobs] == [
+                s.priority for s in job.subjobs
+            ]
+            assert type(other.arrivals) is type(job.arrivals)
+        for proc in system.processors:
+            assert clone.policy(proc) == system.policy(proc)
+
+    def test_file_round_trip(self, tmp_path):
+        system = self.build()
+        path = tmp_path / "system.json"
+        save_system(system, path)
+        clone = load_system(path)
+        assert len(clone.job_set) == 4
+        # File contains valid, human-editable JSON.
+        data = json.loads(path.read_text())
+        assert {j["id"] for j in data["jobs"]} == {"a", "b", "c", "d"}

@@ -1,0 +1,176 @@
+"""Unit tests for jobs, job sets, systems and priority assignment."""
+
+import pytest
+
+from repro.model import (
+    Job,
+    JobSet,
+    PeriodicArrivals,
+    SchedulingPolicy,
+    SubJob,
+    System,
+    TraceArrivals,
+    assign_priorities_deadline_monotonic,
+    assign_priorities_explicit,
+    assign_priorities_proportional_deadline,
+    assign_priorities_rate_monotonic,
+)
+
+
+def make_job(job_id="T1", route=(("P1", 1.0), ("P2", 2.0)), period=5.0, deadline=10.0):
+    return Job.build(job_id, list(route), PeriodicArrivals(period), deadline)
+
+
+class TestSubJob:
+    def test_invalid_wcet(self):
+        with pytest.raises(ValueError):
+            SubJob("T1", 0, "P1", 0.0)
+
+    def test_key(self):
+        assert SubJob("T1", 2, "P1", 1.0).key == ("T1", 2)
+
+
+class TestJob:
+    def test_build(self):
+        job = make_job()
+        assert job.n_subjobs == 2
+        assert job.total_wcet == 3.0
+        assert job.processors == ("P1", "P2")
+
+    def test_requires_subjobs(self):
+        with pytest.raises(ValueError):
+            Job("T1", [], PeriodicArrivals(1.0), 1.0)
+
+    def test_requires_positive_deadline(self):
+        with pytest.raises(ValueError):
+            make_job(deadline=0.0)
+
+    def test_chain_index_validation(self):
+        subs = [SubJob("T1", 1, "P1", 1.0)]
+        with pytest.raises(ValueError):
+            Job("T1", subs, PeriodicArrivals(1.0), 1.0)
+
+    def test_sub_deadlines_eq24(self):
+        job = make_job(route=(("P1", 1.0), ("P2", 3.0)), deadline=8.0)
+        # D_ij = tau_ij / sum(tau) * D.
+        assert job.sub_deadlines() == pytest.approx([2.0, 6.0])
+
+    def test_revisits_processor(self):
+        loop = make_job(route=(("P1", 1.0), ("P2", 1.0), ("P1", 1.0)))
+        assert loop.revisits_processor()
+        assert not make_job().revisits_processor()
+
+
+class TestJobSet:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            JobSet([make_job(), make_job()])
+
+    def test_lookup(self):
+        js = JobSet([make_job("A"), make_job("B")])
+        assert js["A"].job_id == "A"
+        assert "B" in js
+        assert len(js) == 2
+
+    def test_subjobs_on(self):
+        js = JobSet([make_job("A"), make_job("B", route=(("P2", 1.0),))])
+        assert len(js.subjobs_on("P2")) == 2
+        assert len(js.subjobs_on("P1")) == 1
+
+    def test_utilization(self):
+        js = JobSet([make_job("A", route=(("P1", 1.0),), period=4.0)])
+        assert js.utilization("P1") == pytest.approx(0.25)
+        assert js.max_utilization() == pytest.approx(0.25)
+
+    def test_trace_jobs_zero_utilization(self):
+        job = Job.build("A", [("P1", 1.0)], TraceArrivals([0.0]), 5.0)
+        assert JobSet([job]).utilization("P1") == 0.0
+
+
+class TestSystem:
+    def test_uniform_policy(self):
+        sys_ = System([make_job()], "spp")
+        assert sys_.policy("P1") == SchedulingPolicy.SPP
+        assert sys_.is_uniform(SchedulingPolicy.SPP)
+
+    def test_mixed_policies(self):
+        sys_ = System([make_job()], policies={"P1": "fcfs"}, default_policy="spnp")
+        assert sys_.policy("P1") == SchedulingPolicy.FCFS
+        assert sys_.policy("P2") == SchedulingPolicy.SPNP
+        assert not sys_.is_uniform(SchedulingPolicy.FCFS)
+
+    def test_validate_needs_priorities(self):
+        sys_ = System([make_job()], "spp")
+        with pytest.raises(ValueError):
+            sys_.validate()
+        assign_priorities_proportional_deadline(sys_)
+        sys_.validate()
+
+    def test_fcfs_needs_no_priorities(self):
+        sys_ = System([make_job()], "fcfs")
+        sys_.validate()
+
+    def test_duplicate_priorities_rejected(self):
+        js = JobSet([make_job("A"), make_job("B")])
+        for sub in js.all_subjobs():
+            sub.priority = 1
+        with pytest.raises(ValueError):
+            System(js, "spp").validate()
+
+
+class TestPriorityAssignment:
+    def test_proportional_deadline_order(self):
+        # A has the tighter sub-deadline on P1 -> higher priority there.
+        a = make_job("A", route=(("P1", 1.0),), deadline=2.0)
+        b = make_job("B", route=(("P1", 1.0),), deadline=10.0)
+        js = JobSet([a, b])
+        assign_priorities_proportional_deadline(js)
+        assert js.subjob("A", 0).priority == 1
+        assert js.subjob("B", 0).priority == 2
+
+    def test_dense_unique_per_processor(self):
+        jobs = [make_job(f"J{i}", deadline=float(10 + i)) for i in range(5)]
+        js = JobSet(jobs)
+        assign_priorities_proportional_deadline(js)
+        for proc in js.processors:
+            prios = sorted(s.priority for s in js.subjobs_on(proc))
+            assert prios == list(range(1, len(prios) + 1))
+
+    def test_deadline_monotonic(self):
+        a = make_job("A", deadline=5.0)
+        b = make_job("B", deadline=3.0)
+        js = JobSet([a, b])
+        assign_priorities_deadline_monotonic(js)
+        assert js.subjob("B", 0).priority == 1
+
+    def test_rate_monotonic(self):
+        fast = make_job("F", period=1.0)
+        slow = make_job("S", period=10.0)
+        js = JobSet([fast, slow])
+        assign_priorities_rate_monotonic(js)
+        assert js.subjob("F", 0).priority == 1
+
+    def test_explicit(self):
+        js = JobSet([make_job("A")])
+        assign_priorities_explicit(js, {("A", 0): 3, ("A", 1): 1})
+        assert js.subjob("A", 0).priority == 3
+        assert js.subjob("A", 1).priority == 1
+
+    def test_explicit_missing_raises(self):
+        js = JobSet([make_job("A")])
+        with pytest.raises(ValueError):
+            assign_priorities_explicit(js, {("A", 0): 1})
+
+    def test_assignment_via_system(self):
+        sys_ = System([make_job("A"), make_job("B")], "spnp")
+        assign_priorities_proportional_deadline(sys_)
+        sys_.validate()
+
+    def test_tie_break_deterministic(self):
+        a = make_job("A", deadline=10.0)
+        b = make_job("B", deadline=10.0)
+        js = JobSet([a, b])
+        assign_priorities_proportional_deadline(js)
+        # identical sub-deadlines -> tie broken by job id.
+        assert js.subjob("A", 0).priority == 1
+        assert js.subjob("B", 0).priority == 2

@@ -1,0 +1,73 @@
+"""Tests for execution traces and Gantt rendering."""
+
+import pytest
+
+from repro.model import (
+    Job,
+    JobSet,
+    System,
+    TraceArrivals,
+    assign_priorities_explicit,
+)
+from repro.sim import simulate
+from repro.sim.gantt import ExecutionTrace, record_execution, render_gantt
+
+
+def preemption_system():
+    lo = Job.build("LO", [("P1", 4.0)], TraceArrivals([0.0]), 20.0)
+    hi = Job.build("HI", [("P1", 1.0)], TraceArrivals([1.0]), 20.0)
+    sys_ = System(JobSet([lo, hi]), "spp")
+    assign_priorities_explicit(sys_.job_set, {("LO", 0): 2, ("HI", 0): 1})
+    return sys_
+
+
+class TestRecordExecution:
+    def test_slices_cover_executions(self):
+        sys_ = preemption_system()
+        result, trace = record_execution(sys_, horizon=10.0)
+        assert result.completed_all
+        # LO runs [0,1] and [2,5]; HI runs [1,2].
+        slices = trace.on("P1")
+        spans = [(s.job_id, s.start, s.end) for s in slices]
+        assert spans == [("LO", 0.0, 1.0), ("HI", 1.0, 2.0), ("LO", 2.0, 5.0)]
+
+    def test_preemption_count(self):
+        _, trace = record_execution(preemption_system(), horizon=10.0)
+        assert trace.preemption_count() == 1
+        assert trace.preemption_count("LO") == 1
+        assert trace.preemption_count("HI") == 0
+
+    def test_busy_time_matches_simulation(self):
+        sys_ = preemption_system()
+        result, trace = record_execution(sys_, horizon=10.0)
+        assert trace.busy_time("P1") == pytest.approx(result.processor_busy["P1"])
+
+    def test_patching_is_reverted(self):
+        sys_ = preemption_system()
+        record_execution(sys_, horizon=10.0)
+        # A plain simulation afterwards behaves normally.
+        res = simulate(sys_, horizon=10.0)
+        assert res.completed_all
+
+    def test_result_identical_to_plain_simulation(self):
+        sys_ = preemption_system()
+        plain = simulate(sys_, horizon=10.0)
+        patched, _ = record_execution(sys_, horizon=10.0)
+        for jid in plain.jobs:
+            a = [r.completion for r in plain.jobs[jid].records]
+            b = [r.completion for r in patched.jobs[jid].records]
+            assert a == b
+
+
+class TestRenderGantt:
+    def test_render_contains_processors_and_legend(self):
+        _, trace = record_execution(preemption_system(), horizon=10.0)
+        text = render_gantt(trace, t_end=5.0, width=50)
+        assert "P1" in text
+        assert "L=LO" in text and "H=HI" in text
+        # Both labels appear in the row.
+        row = [l for l in text.splitlines() if l.strip().startswith("P1")][0]
+        assert "L" in row and "H" in row
+
+    def test_empty_trace(self):
+        assert "empty" in render_gantt(ExecutionTrace())

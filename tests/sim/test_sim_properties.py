@@ -1,0 +1,106 @@
+"""Property-based invariants of the discrete-event simulator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    Job,
+    JobSet,
+    PeriodicArrivals,
+    System,
+    assign_priorities_proportional_deadline,
+)
+from repro.sim import simulate
+
+
+@st.composite
+def random_systems(draw):
+    n_jobs = draw(st.integers(min_value=1, max_value=4))
+    n_procs = draw(st.integers(min_value=1, max_value=3))
+    policy = draw(st.sampled_from(["spp", "spnp", "fcfs"]))
+    jobs = []
+    for k in range(n_jobs):
+        n_hops = draw(st.integers(min_value=1, max_value=3))
+        route = []
+        for _ in range(n_hops):
+            proc = f"P{draw(st.integers(min_value=1, max_value=n_procs))}"
+            wcet = draw(st.floats(min_value=0.1, max_value=2.0))
+            route.append((proc, wcet))
+        period = draw(st.floats(min_value=2.0, max_value=15.0))
+        jobs.append(
+            Job.build(f"J{k}", route, PeriodicArrivals(period), deadline=100.0)
+        )
+    system = System(JobSet(jobs), policy)
+    if policy != "fcfs":
+        assign_priorities_proportional_deadline(system)
+    return system
+
+
+@given(random_systems())
+@settings(max_examples=40, deadline=None)
+def test_work_conservation(system):
+    """Total busy time equals total executed work."""
+    horizon = 30.0
+    res = simulate(system, horizon=horizon)
+    assert res.completed_all
+    expected = {}
+    for job in system.jobs:
+        n = len(job.arrivals.release_times(horizon))
+        for sub in job.subjobs:
+            expected[sub.processor] = expected.get(sub.processor, 0.0) + n * sub.wcet
+    for proc, busy in res.processor_busy.items():
+        assert busy == pytest.approx(expected.get(proc, 0.0), abs=1e-6)
+
+
+@given(random_systems())
+@settings(max_examples=40, deadline=None)
+def test_response_at_least_total_wcet(system):
+    res = simulate(system, horizon=30.0)
+    for job in system.jobs:
+        trace = res.jobs[job.job_id]
+        for rec in trace.records:
+            if rec.finished:
+                assert rec.response >= job.total_wcet - 1e-9
+
+
+@given(random_systems())
+@settings(max_examples=40, deadline=None)
+def test_fifo_within_job(system):
+    """Instances of one job complete in release order at every hop."""
+    res = simulate(system, horizon=30.0)
+    for trace in res.jobs.values():
+        n_hops = max((len(r.hop_completions) for r in trace.records), default=0)
+        for hop in range(n_hops):
+            times = [
+                r.hop_completions[hop]
+                for r in trace.records
+                if len(r.hop_completions) > hop
+            ]
+            assert all(b >= a - 1e-9 for a, b in zip(times, times[1:]))
+
+
+@given(random_systems())
+@settings(max_examples=40, deadline=None)
+def test_hop_completions_monotone_within_instance(system):
+    res = simulate(system, horizon=30.0)
+    for trace in res.jobs.values():
+        for rec in trace.records:
+            hops = rec.hop_completions
+            assert all(b >= a for a, b in zip(hops, hops[1:]))
+            if hops:
+                assert hops[0] >= rec.release
+
+
+@given(random_systems())
+@settings(max_examples=25, deadline=None)
+def test_simulation_deterministic(system):
+    a = simulate(system, horizon=25.0)
+    b = simulate(system, horizon=25.0)
+    for job_id in a.jobs:
+        ra = [r.completion for r in a.jobs[job_id].records if r.finished]
+        rb = [r.completion for r in b.jobs[job_id].records if r.finished]
+        assert ra == rb

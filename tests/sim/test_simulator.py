@@ -1,0 +1,165 @@
+"""Unit tests for the discrete-event simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    Job,
+    JobSet,
+    PeriodicArrivals,
+    System,
+    TraceArrivals,
+    assign_priorities_explicit,
+    assign_priorities_proportional_deadline,
+)
+from repro.sim import EventQueue, simulate
+
+
+def build(jobs, policy, priorities=None):
+    sys_ = System(JobSet(jobs), policy)
+    if priorities:
+        assign_priorities_explicit(sys_.job_set, priorities)
+    elif policy != "fcfs":
+        assign_priorities_proportional_deadline(sys_)
+    return sys_
+
+
+class TestEventQueue:
+    def test_fifo_among_equal_times(self):
+        q = EventQueue()
+        order = []
+        q.schedule(1.0, lambda: order.append("a"))
+        q.schedule(1.0, lambda: order.append("b"))
+        q.schedule(0.5, lambda: order.append("c"))
+        while (ev := q.pop()) is not None:
+            ev.action()
+        assert order == ["c", "a", "b"]
+
+    def test_cancellation(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        ev.cancel()
+        assert q.pop() is None
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert q.peek_time() == 2.0
+
+    def test_infinite_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(math.inf, lambda: None)
+
+
+class TestSingleProcessor:
+    def test_lone_job(self):
+        job = Job.build("A", [("P1", 2.0)], TraceArrivals([0.0]), 10.0)
+        res = simulate(build([job], "spp"), horizon=5.0)
+        assert res.jobs["A"].records[0].completion == pytest.approx(2.0)
+
+    def test_spp_preemption(self):
+        lo = Job.build("LO", [("P1", 4.0)], TraceArrivals([0.0]), 20.0)
+        hi = Job.build("HI", [("P1", 1.0)], TraceArrivals([1.0]), 20.0)
+        sys_ = build([lo, hi], "spp", {("LO", 0): 2, ("HI", 0): 1})
+        res = simulate(sys_, horizon=5.0)
+        # HI preempts at t=1, runs [1,2]; LO runs [0,1] and [2,5].
+        assert res.jobs["HI"].records[0].completion == pytest.approx(2.0)
+        assert res.jobs["LO"].records[0].completion == pytest.approx(5.0)
+
+    def test_spnp_no_preemption(self):
+        lo = Job.build("LO", [("P1", 4.0)], TraceArrivals([0.0]), 20.0)
+        hi = Job.build("HI", [("P1", 1.0)], TraceArrivals([1.0]), 20.0)
+        sys_ = build([lo, hi], "spnp", {("LO", 0): 2, ("HI", 0): 1})
+        res = simulate(sys_, horizon=5.0)
+        # LO holds the processor to t=4; HI runs [4,5].
+        assert res.jobs["LO"].records[0].completion == pytest.approx(4.0)
+        assert res.jobs["HI"].records[0].completion == pytest.approx(5.0)
+
+    def test_spnp_priority_after_completion(self):
+        lo = Job.build("LO", [("P1", 2.0)], TraceArrivals([0.0, 10.0]), 50.0)
+        hi = Job.build("HI", [("P1", 1.0)], TraceArrivals([0.5]), 50.0)
+        mid = Job.build("MID", [("P1", 1.0)], TraceArrivals([0.2]), 50.0)
+        sys_ = build(
+            [lo, hi, mid], "spnp", {("LO", 0): 3, ("HI", 0): 1, ("MID", 0): 2}
+        )
+        res = simulate(sys_, horizon=20.0)
+        # After LO finishes at 2, HI (prio 1) goes before MID despite MID
+        # arriving earlier.
+        assert res.jobs["HI"].records[0].completion == pytest.approx(3.0)
+        assert res.jobs["MID"].records[0].completion == pytest.approx(4.0)
+
+    def test_fcfs_order(self):
+        a = Job.build("A", [("P1", 2.0)], TraceArrivals([0.0]), 50.0)
+        b = Job.build("B", [("P1", 1.0)], TraceArrivals([0.5]), 50.0)
+        c = Job.build("C", [("P1", 1.0)], TraceArrivals([0.6]), 50.0)
+        res = simulate(build([a, b, c], "fcfs"), horizon=10.0)
+        assert res.jobs["A"].records[0].completion == pytest.approx(2.0)
+        assert res.jobs["B"].records[0].completion == pytest.approx(3.0)
+        assert res.jobs["C"].records[0].completion == pytest.approx(4.0)
+
+    def test_completion_beats_simultaneous_arrival(self):
+        # A finishes exactly when B (higher priority) arrives: A must not
+        # be "preempted" with zero remaining work.
+        a = Job.build("A", [("P1", 2.0)], TraceArrivals([0.0]), 50.0)
+        b = Job.build("B", [("P1", 1.0)], TraceArrivals([2.0]), 50.0)
+        sys_ = build([a, b], "spp", {("A", 0): 2, ("B", 0): 1})
+        res = simulate(sys_, horizon=10.0)
+        assert res.jobs["A"].records[0].completion == pytest.approx(2.0)
+        assert res.jobs["B"].records[0].completion == pytest.approx(3.0)
+
+
+class TestDistributed:
+    def test_direct_synchronization(self):
+        job = Job.build("A", [("P1", 1.0), ("P2", 2.0)], TraceArrivals([0.0]), 10.0)
+        res = simulate(build([job], "spp"), horizon=5.0)
+        rec = res.jobs["A"].records[0]
+        assert rec.hop_completions == pytest.approx([1.0, 3.0])
+
+    def test_pipeline_backlog(self):
+        job = Job.build(
+            "A", [("P1", 1.0), ("P2", 3.0)], TraceArrivals([0.0, 1.0]), 50.0
+        )
+        res = simulate(build([job], "spp"), horizon=10.0)
+        # Instance 2 arrives at P2 at t=2 but P2 busy until 4.
+        assert res.jobs["A"].records[1].completion == pytest.approx(7.0)
+
+    def test_utilization_accounting(self):
+        job = Job.build("A", [("P1", 2.0)], PeriodicArrivals(4.0), 10.0)
+        res = simulate(build([job], "spp"), horizon=8.0)
+        # Instances at 0 and 4 -> 4 units of busy time.
+        assert res.processor_busy["P1"] == pytest.approx(4.0)
+
+    def test_completed_all_flag(self):
+        job = Job.build("A", [("P1", 1.0)], PeriodicArrivals(2.0), 10.0)
+        res = simulate(build([job], "spp"), horizon=10.0)
+        assert res.completed_all
+
+    def test_overload_still_finishes_released_instances(self):
+        # Utilization 2: backlog grows, but only instances released before
+        # the horizon exist, so the run terminates.
+        job = Job.build("A", [("P1", 2.0)], PeriodicArrivals(1.0), 10.0)
+        res = simulate(build([job], "spp"), horizon=5.0)
+        assert res.completed_all
+        # Five instances, last completes at 10.
+        assert res.jobs["A"].records[-1].completion == pytest.approx(10.0)
+
+    def test_report_window_filters(self):
+        job = Job.build("A", [("P1", 1.0)], PeriodicArrivals(2.0), 10.0)
+        res = simulate(build([job], "spp"), horizon=10.0, report_window=5.0)
+        assert res.responses("A").size == 3  # releases at 0, 2, 4
+
+    def test_deadline_miss_detection(self):
+        a = Job.build("A", [("P1", 3.0)], TraceArrivals([0.0]), 1.0)
+        res = simulate(build([a], "spp"), horizon=5.0)
+        assert not res.all_deadlines_met
+        assert res.jobs["A"].deadline_misses() == 1
+
+    def test_summary_renders(self):
+        job = Job.build("A", [("P1", 1.0)], PeriodicArrivals(2.0), 10.0)
+        res = simulate(build([job], "spp"), horizon=6.0)
+        text = res.summary()
+        assert "A" in text and "max" in text

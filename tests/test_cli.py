@@ -1,0 +1,99 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SYSTEM = {
+    "policies": {"cpu": "spp"},
+    "jobs": [
+        {
+            "id": "a",
+            "deadline": 10.0,
+            "arrivals": {"type": "periodic", "period": 5.0},
+            "route": [["cpu", 1.0]],
+        },
+        {
+            "id": "b",
+            "deadline": 12.0,
+            "arrivals": {"type": "periodic", "period": 6.0},
+            "route": [["cpu", 2.0]],
+        },
+    ],
+}
+
+
+@pytest.fixture()
+def system_file(tmp_path):
+    path = tmp_path / "system.json"
+    path.write_text(json.dumps(SYSTEM))
+    return str(path)
+
+
+@pytest.fixture()
+def missing_deadline_file(tmp_path):
+    data = json.loads(json.dumps(SYSTEM))
+    data["jobs"][1]["deadline"] = 0.5  # impossible: below its own wcet
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "x.json", "--method", "nope"])
+
+
+class TestCommands:
+    def test_methods(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        assert "SPP/Exact" in out and "FCFS/App" in out
+
+    def test_analyze_schedulable(self, system_file, capsys):
+        assert main(["analyze", system_file, "--method", "SPP/Exact"]) == 0
+        out = capsys.readouterr().out
+        assert "schedulable=True" in out
+
+    def test_analyze_miss_exit_code(self, missing_deadline_file, capsys):
+        assert main(["analyze", missing_deadline_file]) == 1
+        assert "MISS" in capsys.readouterr().out
+
+    def test_simulate(self, system_file, capsys):
+        assert main(["simulate", system_file, "--horizon", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "max=" in out
+
+    def test_validate(self, system_file, capsys):
+        assert main(["validate", system_file, "--method", "SPP/Exact"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok]" in out
+        assert "VIOLATION" not in out
+
+    def test_validate_spnp(self, system_file, capsys):
+        assert main(["validate", system_file, "--method", "SPNP/App"]) == 0
+        assert "[ok]" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report(self, system_file, capsys):
+        assert main(["report", system_file, "--method", "SPP/Exact",
+                     "--no-simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "## System" in out and "## Verdicts" in out
+
+    def test_report_default_methods(self, system_file, capsys):
+        assert main(["report", system_file, "--no-simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "SPP/Exact" in out and "SPNP/App" in out
+
+    def test_report_with_simulation(self, system_file, capsys):
+        assert main(["report", system_file, "--method", "SPP/Exact"]) == 0
+        assert "## Simulation cross-check" in capsys.readouterr().out

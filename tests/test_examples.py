@@ -1,0 +1,27 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(path):
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the deliverable requires at least three examples"
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names

@@ -1,0 +1,161 @@
+"""Unit tests for job-shop topologies and random workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.model import BurstyArrivals, PeriodicArrivals
+from repro.workloads import (
+    ShopTopology,
+    execution_times_eq26,
+    figure2_routes,
+    gamma_deadline,
+    generate_aperiodic_jobset,
+    generate_periodic_jobset,
+    random_routing,
+)
+
+
+class TestTopology:
+    def test_processor_naming_stage_major(self):
+        topo = ShopTopology(4, 2)
+        assert topo.processor(0, 0) == "P1"
+        assert topo.processor(0, 1) == "P2"
+        assert topo.processor(1, 0) == "P3"
+        assert topo.processor(3, 1) == "P8"
+
+    def test_stage_of(self):
+        topo = ShopTopology(4, 2)
+        assert topo.stage_of("P1") == 0
+        assert topo.stage_of("P5") == 2
+
+    def test_bounds_checked(self):
+        topo = ShopTopology(2, 2)
+        with pytest.raises(ValueError):
+            topo.processor(2, 0)
+        with pytest.raises(ValueError):
+            topo.processor(0, 2)
+
+    def test_figure2(self):
+        topo, routes = figure2_routes()
+        assert topo.n_processors == 8
+        assert routes[0] == ["P1", "P3", "P5", "P7"]
+        assert routes[1] == ["P1", "P4", "P5", "P8"]
+
+    def test_random_routing_one_per_stage(self):
+        topo = ShopTopology(3, 2)
+        rng = np.random.default_rng(0)
+        routes = random_routing(topo, 10, rng)
+        for route in routes:
+            assert len(route) == 3
+            for stage, proc in enumerate(route):
+                assert topo.stage_of(proc) == stage
+
+
+class TestEq26:
+    def test_single_subjob_alone(self):
+        # Alone on a processor: tau = Utilization (paper normalization).
+        routes = [["P1"]]
+        x = np.array([0.5])
+        w = [np.array([0.7])]
+        taus = execution_times_eq26(routes, x, w, utilization=0.6)
+        assert taus[0][0] == pytest.approx(0.6)
+
+    def test_paper_normalization_bounds_utilization(self):
+        rng = np.random.default_rng(1)
+        topo = ShopTopology(2, 2)
+        routes = random_routing(topo, 5, rng)
+        x = rng.uniform(0.1, 1.0, 5)
+        w = [rng.uniform(0, 1, len(r)) for r in routes]
+        taus = execution_times_eq26(routes, x, w, 0.7, "paper")
+        # realized utilization per processor <= nominal.
+        util = {}
+        for k, route in enumerate(routes):
+            for j, p in enumerate(route):
+                util[p] = util.get(p, 0.0) + taus[k][j] * x[k]
+        assert all(u <= 0.7 + 1e-9 for u in util.values())
+
+    def test_exact_normalization_hits_utilization(self):
+        rng = np.random.default_rng(2)
+        topo = ShopTopology(2, 2)
+        routes = random_routing(topo, 5, rng)
+        x = rng.uniform(0.1, 1.0, 5)
+        w = [rng.uniform(0, 1, len(r)) for r in routes]
+        taus = execution_times_eq26(routes, x, w, 0.7, "exact")
+        util = {}
+        for k, route in enumerate(routes):
+            for j, p in enumerate(route):
+                util[p] = util.get(p, 0.0) + taus[k][j] * x[k]
+        assert all(u == pytest.approx(0.7) for u in util.values())
+
+    def test_invalid_normalization(self):
+        with pytest.raises(ValueError):
+            execution_times_eq26([["P1"]], np.array([0.5]), [np.array([1.0])], 0.5, "?")
+
+
+class TestGamma:
+    def test_moments(self):
+        rng = np.random.default_rng(3)
+        draws = np.array([gamma_deadline(4.0, 8.0, rng) for _ in range(20000)])
+        assert draws.mean() == pytest.approx(4.0, rel=0.05)
+        assert draws.var() == pytest.approx(8.0, rel=0.1)
+
+    def test_exponential_special_case(self):
+        rng = np.random.default_rng(4)
+        draws = np.array([gamma_deadline(2.0, 4.0, rng) for _ in range(20000)])
+        # variance == mean^2 -> exponential: CV == 1.
+        cv = draws.std() / draws.mean()
+        assert cv == pytest.approx(1.0, rel=0.05)
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            gamma_deadline(0.0, 1.0, rng)
+
+
+class TestGenerators:
+    def test_periodic_jobset_structure(self):
+        topo = ShopTopology(3, 2)
+        rng = np.random.default_rng(5)
+        js = generate_periodic_jobset(topo, 4, 0.5, 4.0, rng)
+        assert len(js) == 4
+        for job in js:
+            assert isinstance(job.arrivals, PeriodicArrivals)
+            assert job.n_subjobs == 3
+            period = 1.0 / job.arrivals.rate
+            assert job.deadline == pytest.approx(4.0 * period)
+
+    def test_periodic_utilization_bounded(self):
+        topo = ShopTopology(2, 2)
+        rng = np.random.default_rng(6)
+        js = generate_periodic_jobset(topo, 6, 0.8, 4.0, rng)
+        assert js.max_utilization() <= 0.8 + 1e-9
+
+    def test_aperiodic_jobset_structure(self):
+        topo = ShopTopology(2, 2)
+        rng = np.random.default_rng(7)
+        js = generate_aperiodic_jobset(topo, 4, 0.5, 4.0, 8.0, rng)
+        for job in js:
+            assert isinstance(job.arrivals, BurstyArrivals)
+            assert job.deadline > 0
+
+    def test_x_range_respected(self):
+        topo = ShopTopology(1, 1)
+        rng = np.random.default_rng(8)
+        js = generate_periodic_jobset(topo, 10, 0.5, 2.0, rng, x_range=(0.5, 0.9))
+        for job in js:
+            assert 1.0 / 0.9 <= 1.0 / job.arrivals.rate <= 1.0 / 0.5
+
+    def test_deterministic_with_seed(self):
+        topo = ShopTopology(2, 2)
+        a = generate_periodic_jobset(topo, 3, 0.5, 4.0, np.random.default_rng(9))
+        b = generate_periodic_jobset(topo, 3, 0.5, 4.0, np.random.default_rng(9))
+        for ja, jb in zip(a, b):
+            assert ja.deadline == jb.deadline
+            assert [s.wcet for s in ja.subjobs] == [s.wcet for s in jb.subjobs]
+
+    def test_invalid_x_range(self):
+        topo = ShopTopology(1, 1)
+        with pytest.raises(ValueError):
+            generate_periodic_jobset(
+                topo, 1, 0.5, 2.0, np.random.default_rng(0), x_range=(0.0, 1.0)
+            )
