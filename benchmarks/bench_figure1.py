@@ -9,7 +9,6 @@ construction path.
 """
 
 import numpy as np
-import pytest
 
 from repro.curves import Curve
 from repro.model import BurstyArrivals, PeriodicArrivals

@@ -18,6 +18,25 @@ from repro.experiments import (
 )
 
 
+def _print_stats(curves, label: str) -> None:
+    """Aggregate and print the batch-engine metrics of a figure run."""
+    totals = {}
+    for curve in curves:
+        for key, value in curve.stats.items():
+            if key == "cache_hit_rate":
+                continue
+            totals[key] = totals.get(key, 0) + value
+    lookups = totals.get("cache_hits", 0) + totals.get("cache_misses", 0)
+    rate = totals.get("cache_hits", 0) / lookups if lookups else 0.0
+    print(
+        f"{label}: {totals.get('n_items', 0):.0f} analyses in "
+        f"{totals.get('analysis_wall_time', 0.0):.1f}s, "
+        f"{totals.get('n_failed', 0):.0f} failed, "
+        f"cache hit rate {100 * rate:.1f}%",
+        flush=True,
+    )
+
+
 def main() -> None:
     ap = argparse.ArgumentParser()
     ap.add_argument("--sets", type=int, default=60)
@@ -39,6 +58,7 @@ def main() -> None:
         text = format_figure(curves, f"Figure 3 (periodic, {args.sets} sets/point)")
         (args.out / "figure3_full.txt").write_text(text)
         print(text)
+        _print_stats(curves, "figure 3 batch stats")
         print(f"figure 3 done in {time.time() - t0:.0f}s", flush=True)
 
     if args.figure in ("4", "both"):
@@ -50,6 +70,7 @@ def main() -> None:
         text = format_figure(curves, f"Figure 4 (bursty, {args.sets} sets/point)")
         (args.out / "figure4_full.txt").write_text(text)
         print(text)
+        _print_stats(curves, "figure 4 batch stats")
         print(f"figure 4 done in {time.time() - t0:.0f}s", flush=True)
 
 

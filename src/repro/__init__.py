@@ -21,7 +21,9 @@ The package provides:
 * :mod:`repro.workloads` -- the paper's job-shop topology and the random
   workloads of Eqs. 24--28;
 * :mod:`repro.experiments` -- admission-probability experiments reproducing
-  Figures 3 and 4.
+  Figures 3 and 4;
+* :mod:`repro.batch` -- the parallel batch-analysis engine every bulk
+  caller (sweeps, figure runners, the ``batch`` CLI) runs on.
 """
 
 from .curves import Curve
@@ -39,8 +41,10 @@ from .model import (
     assign_priorities_proportional_deadline,
 )
 from .analysis import (
+    METHODS,
     AdmissionController,
     AnalysisResult,
+    Analyzer,
     CompositionalAnalysis,
     EndToEndResult,
     FcfsApproxAnalysis,
@@ -52,9 +56,11 @@ from .analysis import (
     StationaryAnalysis,
     analyze,
     is_schedulable,
+    make_analyzer,
 )
+from .batch import BatchEngine, BatchItem, BatchReport
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Curve",
@@ -80,7 +86,13 @@ __all__ = [
     "FixpointAnalysis",
     "StationaryAnalysis",
     "AdmissionController",
+    "Analyzer",
+    "METHODS",
     "analyze",
     "is_schedulable",
+    "make_analyzer",
+    "BatchEngine",
+    "BatchItem",
+    "BatchReport",
     "__version__",
 ]

@@ -2,8 +2,10 @@
 
 from .admission import METHODS, analyze, is_schedulable, make_analyzer
 from .base import (
+    RESULT_SCHEMA_VERSION,
     AnalysisError,
     AnalysisResult,
+    Analyzer,
     CyclicDependencyError,
     EndToEndResult,
     SubjobResult,
@@ -39,8 +41,10 @@ __all__ = [
     "utilization_bound_test",
     "AdmissionDecision",
     "AnalysisError",
+    "Analyzer",
     "CyclicDependencyError",
     "AnalysisResult",
+    "RESULT_SCHEMA_VERSION",
     "EndToEndResult",
     "SubjobResult",
     "dependency_order",

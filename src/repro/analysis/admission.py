@@ -9,10 +9,10 @@ examples.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional, Union
+from typing import Optional
 
-from ..model.system import SchedulingPolicy, System
-from .base import AnalysisResult
+from ..model.system import System
+from .base import AnalysisResult, Analyzer
 from .compositional import (
     CompositionalAnalysis,
     FcfsApproxAnalysis,
@@ -25,7 +25,7 @@ from .horizon import HorizonConfig
 from .spp_exact import SppExactAnalysis
 from .stationary import StationaryAnalysis
 
-__all__ = ["METHODS", "make_analyzer", "analyze", "is_schedulable"]
+__all__ = ["METHODS", "Analyzer", "make_analyzer", "analyze", "is_schedulable"]
 
 #: Registry of analysis method names (as used in the paper's figures).
 METHODS = {
@@ -40,16 +40,20 @@ METHODS = {
 }
 
 
-def make_analyzer(method: str, horizon: Optional[HorizonConfig] = None):
-    """Instantiate an analyzer by its paper name (see :data:`METHODS`)."""
+def make_analyzer(method: str, horizon: Optional[HorizonConfig] = None) -> Analyzer:
+    """Instantiate an analyzer by its paper name (see :data:`METHODS`).
+
+    Every registered class satisfies the :class:`~repro.analysis.base.
+    Analyzer` protocol and accepts an optional horizon configuration as
+    its first constructor argument, so no per-class special-casing is
+    needed here (or in any other registry consumer).
+    """
     try:
         cls = METHODS[method]
     except KeyError:
         raise ValueError(
             f"unknown method {method!r}; choose from {sorted(METHODS)}"
         ) from None
-    if cls in (HolisticSPPAnalysis, StationaryAnalysis):
-        return cls()
     return cls(horizon)
 
 

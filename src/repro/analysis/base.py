@@ -7,9 +7,20 @@ and produces an :class:`AnalysisResult` mapping each job to an
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -18,14 +29,46 @@ from ..model.system import SchedulingPolicy, System
 
 __all__ = [
     "AnalysisError",
+    "Analyzer",
     "CyclicDependencyError",
     "SubjobResult",
     "EndToEndResult",
     "AnalysisResult",
+    "RESULT_SCHEMA_VERSION",
     "dependency_order",
 ]
 
 Key = Tuple[str, int]
+
+#: Version tag embedded in every :meth:`AnalysisResult.to_dict` payload.
+#: Bump it whenever a documented field changes meaning (see docs/api.md).
+RESULT_SCHEMA_VERSION = 1
+
+
+@runtime_checkable
+class Analyzer(Protocol):
+    """Uniform interface implemented by every analysis method.
+
+    Every analyzer in :data:`repro.analysis.METHODS`
+
+    * is constructed as ``cls(horizon)`` where ``horizon`` is an optional
+      :class:`~repro.analysis.horizon.HorizonConfig` (horizon-free methods
+      accept and may ignore it);
+    * exposes ``name``, its registry name as used in the paper's figures;
+    * exposes ``policy``, the :class:`~repro.model.system.SchedulingPolicy`
+      the method forces on every processor, or ``None`` when it honors the
+      system's own per-processor policies;
+    * implements ``analyze(system) -> AnalysisResult``.
+
+    The protocol is ``runtime_checkable`` so registries of third-party
+    analyzers can be validated with ``isinstance(obj, Analyzer)``.
+    """
+
+    name: str
+    policy: Optional[SchedulingPolicy]
+
+    def analyze(self, system: System) -> "AnalysisResult":
+        ...
 
 
 class AnalysisError(RuntimeError):
@@ -95,6 +138,7 @@ class AnalysisResult:
     drained: bool  #: all analyzed instances complete within the horizon
     converged: bool  #: bounds stable under horizon doubling
     jobs: Dict[str, EndToEndResult] = field(default_factory=dict)
+    rounds: int = 0  #: adaptive-horizon rounds (doublings + 1); 0 if horizon-free
 
     @property
     def schedulable(self) -> bool:
@@ -122,6 +166,43 @@ class AnalysisResult:
                 f"({r.n_instances} instances)"
             )
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable result with a stable, documented schema.
+
+        The layout is versioned by the top-level ``schema`` field (see
+        ``docs/api.md``).  Non-finite floats (an unbounded response time,
+        the infinite horizon of horizon-free methods) are mapped to
+        ``None`` so the payload is strict JSON.
+        """
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "method": self.method,
+            "horizon": _json_float(self.horizon),
+            "drained": self.drained,
+            "converged": self.converged,
+            "rounds": self.rounds,
+            "schedulable": self.schedulable,
+            "jobs": {
+                job_id: {
+                    "deadline": _json_float(r.deadline),
+                    "wcrt": _json_float(r.wcrt),
+                    "slack": _json_float(r.slack),
+                    "meets_deadline": r.meets_deadline,
+                    "n_instances": r.n_instances,
+                }
+                for job_id, r in sorted(self.jobs.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize :meth:`to_dict` as strict JSON (no NaN/Infinity)."""
+        return json.dumps(self.to_dict(), indent=indent, allow_nan=False)
+
+
+def _json_float(value: float) -> Optional[float]:
+    """Map non-finite floats to ``None`` for strict-JSON payloads."""
+    return float(value) if math.isfinite(value) else None
 
 
 def dependency_order(system: System, for_envelopes: bool = False) -> List[SubJob]:
@@ -191,19 +272,31 @@ def dependency_order(system: System, for_envelopes: bool = False) -> List[SubJob
             in_ready.add(other)
         ready.sort()
     if remaining:
-        # Extract one cycle for the error message.
-        start = next(iter(remaining))
-        cycle = [start]
-        seen = {start}
-        cur = start
-        while True:
-            nxt = next((p for p in remaining.get(cur, ()) if p in remaining), None)
-            if nxt is None:
-                break
-            cycle.append(nxt)
-            if nxt in seen:
-                break
-            seen.add(nxt)
-            cur = nxt
-        raise CyclicDependencyError(cycle)
+        raise CyclicDependencyError(_extract_cycle(remaining))
     return order
+
+
+def _extract_cycle(remaining: Dict[Key, set]) -> List[Key]:
+    """Recover one genuine directed cycle from the unresolved subgraph.
+
+    After Kahn's algorithm stalls, every key left in ``remaining`` has at
+    least one predecessor that is itself unresolved, so walking predecessor
+    links must eventually revisit a node; the revisited suffix of the walk
+    is a cycle.  The walk follows edges *backwards*, so the suffix is
+    reversed before reporting, giving a list ``[n0, n1, ..., n0]`` (closed
+    for readability) in which each ``n_i`` is a genuine predecessor of
+    ``n_{i+1}`` -- i.e. the reported arrows point in dependency direction.
+    """
+    start = next(iter(sorted(remaining)))
+    path: List[Key] = []
+    index: Dict[Key, int] = {}
+    cur = start
+    while cur not in index:
+        index[cur] = len(path)
+        path.append(cur)
+        # Deterministic choice among the unresolved predecessors.
+        cur = min(p for p in remaining[cur] if p in remaining)
+    cycle = path[index[cur] :]
+    cycle.reverse()
+    cycle.append(cycle[0])
+    return cycle

@@ -44,7 +44,6 @@ from .base import (
     dependency_order,
 )
 from .hopbounds import (
-    apply_departure_floors,
     earliest_departures,
     fcfs_departure_bound,
     priority_departure_bound,
@@ -118,7 +117,7 @@ class CompositionalAnalysis:
         self.keep_curves = keep_curves
 
     @property
-    def method(self) -> str:
+    def name(self) -> str:
         if self.force_policy is SchedulingPolicy.SPNP:
             return "SPNP/App"
         if self.force_policy is SchedulingPolicy.FCFS:
@@ -126,6 +125,16 @@ class CompositionalAnalysis:
         if self.force_policy is SchedulingPolicy.SPP:
             return "SPP/App"
         return "Mixed/App"
+
+    #: Legacy alias for :attr:`name`.
+    @property
+    def method(self) -> str:
+        return self.name
+
+    @property
+    def policy(self) -> Optional[SchedulingPolicy]:
+        """Policy forced on every processor; None honors the system's own."""
+        return self.force_policy
 
     def _policy(self, system: System, proc: Hashable) -> SchedulingPolicy:
         return self.force_policy or system.policy(proc)

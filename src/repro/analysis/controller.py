@@ -11,7 +11,7 @@ cannot rely on periodic-only methods like SPP/S&L.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Union
 
 from ..model.job import Job, JobSet

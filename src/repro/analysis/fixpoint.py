@@ -68,7 +68,8 @@ class FixpointAnalysis:
         experiments do); default honors each processor's own policy.
     """
 
-    method = "Fixpoint/App"
+    name = "Fixpoint/App"
+    method = name  #: legacy alias for ``name``
 
     def __init__(
         self,
@@ -79,6 +80,11 @@ class FixpointAnalysis:
         self.horizon = horizon or HorizonConfig()
         self.max_iterations = max_iterations
         self.force_policy = force_policy
+
+    @property
+    def policy(self) -> Optional[SchedulingPolicy]:
+        """Policy forced on every processor; None honors the system's own."""
+        return self.force_policy
 
     def _policy(self, system: System, proc: Hashable) -> SchedulingPolicy:
         return self.force_policy or system.policy(proc)

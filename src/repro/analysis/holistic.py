@@ -33,7 +33,7 @@ reason the paper's Figure 4 (aperiodic arrivals) omits it.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..model.system import SchedulingPolicy, System
 from .base import AnalysisError, AnalysisResult, EndToEndResult, SubjobResult
@@ -49,6 +49,9 @@ class HolisticSPPAnalysis:
 
     Parameters
     ----------
+    horizon:
+        Accepted for :class:`~repro.analysis.base.Analyzer` uniformity and
+        ignored -- the holistic iteration is horizon-free.
     max_sweeps:
         Maximum number of global jitter-propagation sweeps.
     divergence_factor:
@@ -56,9 +59,16 @@ class HolisticSPPAnalysis:
         treated as divergent and reported as an infinite bound.
     """
 
-    method = "SPP/S&L"
+    name = "SPP/S&L"
+    method = name  #: legacy alias for ``name``
+    policy = SchedulingPolicy.SPP
 
-    def __init__(self, max_sweeps: int = 200, divergence_factor: float = 50.0) -> None:
+    def __init__(
+        self,
+        horizon=None,
+        max_sweeps: int = 200,
+        divergence_factor: float = 50.0,
+    ) -> None:
         self.max_sweeps = max_sweeps
         self.divergence_factor = divergence_factor
 

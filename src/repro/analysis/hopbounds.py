@@ -40,11 +40,11 @@ than a processor entirely dedicated to it).
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from ..curves import Curve, fcfs_utilization, identity_minus, service_transform, sum_curves
+from ..curves import Curve, identity_minus, sum_curves
 
 __all__ = [
     "visible_step",

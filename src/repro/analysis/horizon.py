@@ -105,6 +105,7 @@ def run_adaptive(
     for round_idx in range(config.max_rounds):
         report = h * config.analyze_fraction
         result, ok = analyze_once(h, report)
+        result.rounds = round_idx + 1
         last_result = result
         if ok:
             result.drained = True

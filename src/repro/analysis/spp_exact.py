@@ -24,7 +24,7 @@ grows the horizon until every analyzed instance is covered.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -69,7 +69,9 @@ class SppExactAnalysis:
         for inspection (costs memory on large systems).
     """
 
-    method = "SPP/Exact"
+    name = "SPP/Exact"
+    method = name  #: legacy alias for ``name``
+    policy = SchedulingPolicy.SPP
 
     def __init__(
         self,

@@ -26,7 +26,7 @@ sound, though blunter than the paper's Theorem 8/9 treatment.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..curves import Curve, sum_curves
 from ..curves.envelope import (
@@ -50,6 +50,11 @@ class StationaryAnalysis:
 
     Parameters
     ----------
+    horizon:
+        Accepted for :class:`~repro.analysis.base.Analyzer` uniformity;
+        the bounds themselves are horizon-free, but when a
+        :class:`~repro.analysis.horizon.HorizonConfig` with an explicit
+        ``initial`` horizon is given it seeds ``envelope_horizon``.
     envelope_horizon:
         Span of the trace prefix used to build envelopes for processes
         without a closed-form envelope (e.g. the bursty Eq. 27 stream).
@@ -57,11 +62,18 @@ class StationaryAnalysis:
         Retain the per-hop envelopes and leftover curves in the result.
     """
 
-    method = "Stationary/NC"
+    name = "Stationary/NC"
+    method = name  #: legacy alias for ``name``
+    policy = None  #: honors each processor's own policy
 
     def __init__(
-        self, envelope_horizon: float = 200.0, keep_curves: bool = False
+        self,
+        horizon=None,
+        envelope_horizon: float = 200.0,
+        keep_curves: bool = False,
     ) -> None:
+        if horizon is not None and horizon.initial is not None:
+            envelope_horizon = horizon.initial
         self.envelope_horizon = envelope_horizon
         self.keep_curves = keep_curves
 

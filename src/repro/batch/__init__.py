@@ -1,0 +1,31 @@
+"""Shared batch-analysis subsystem.
+
+:class:`BatchEngine` is the single entry point every bulk caller (the
+admission-probability sweeps, the figure runners, the ``python -m repro
+batch`` CLI) funnels through: it fans ``(system, method)`` items across a
+process pool with chunking, per-item timeouts, per-worker curve-cache
+memoization and structured failure records.  See
+:mod:`repro.batch.engine` for the full contract.
+"""
+
+from .engine import (
+    STATUS_CRASH,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    BatchEngine,
+    BatchItem,
+    BatchReport,
+    ItemResult,
+)
+
+__all__ = [
+    "BatchEngine",
+    "BatchItem",
+    "BatchReport",
+    "ItemResult",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_TIMEOUT",
+    "STATUS_CRASH",
+]

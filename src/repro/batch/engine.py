@@ -1,0 +1,429 @@
+"""Parallel batch-analysis engine.
+
+The engine fans ``(system, method)`` work items across a process pool
+with chunking, per-item timeouts and graceful degradation: an analysis
+error, a timed-out item or even a crashed worker process yields a
+structured failure record in the :class:`BatchReport` -- a sweep never
+loses items.  Each worker process keeps a persistent curve cache (see
+:mod:`repro.curves.memo`) so the hot min-plus kernel is memoized across
+items, and every item carries metrics (wall time, horizon doublings,
+cache hits/misses) in its record.
+
+Determinism: analysis is a pure function of ``(system, method,
+horizon)``, items never share mutable state, and the report lists results
+in submission order -- a batch run is bit-identical to analyzing the same
+items sequentially, with or without the cache (the kernel is a pure
+function of its hashed inputs).
+
+Typical use::
+
+    from repro.batch import BatchEngine, BatchItem
+
+    engine = BatchEngine(n_workers=4, timeout=30.0)
+    report = engine.run(
+        [BatchItem(system, method) for system in systems for method in methods]
+    )
+    for rec in report:
+        print(rec.item_id, rec.status, rec.schedulable)
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+import math
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..analysis.admission import make_analyzer
+from ..analysis.base import AnalysisResult
+from ..analysis.horizon import HorizonConfig
+from ..curves import memo
+from ..model.system import System
+
+__all__ = [
+    "BatchEngine",
+    "BatchItem",
+    "BatchReport",
+    "ItemResult",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_TIMEOUT",
+    "STATUS_CRASH",
+]
+
+#: Item analyzed successfully (the result may still be unschedulable).
+STATUS_OK = "ok"
+#: The analyzer raised (model rejected, unknown method, ...).
+STATUS_ERROR = "error"
+#: The per-item timeout expired before the analysis finished.
+STATUS_TIMEOUT = "timeout"
+#: The worker process died; the item's chunk-mates were retried elsewhere.
+STATUS_CRASH = "crash"
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One unit of work: analyze ``system`` with ``method``.
+
+    ``item_id`` is an optional caller-chosen label carried through to the
+    result record; it defaults to the item's submission index.
+    """
+
+    system: System
+    method: str = "SPP/Exact"
+    item_id: Optional[str] = None
+    horizon: Optional[HorizonConfig] = None
+
+
+@dataclass
+class ItemResult:
+    """Outcome of one batch item -- success or structured failure."""
+
+    index: int  #: submission index within the batch
+    item_id: str
+    method: str
+    status: str  #: one of STATUS_OK / STATUS_ERROR / STATUS_TIMEOUT / STATUS_CRASH
+    result: Optional[AnalysisResult] = None  #: present iff status == "ok"
+    error: Optional[str] = None  #: human-readable failure description
+    wall_time: float = 0.0  #: seconds spent analyzing this item
+    rounds: int = 0  #: adaptive-horizon rounds used (0 for horizon-free)
+    cache_hits: int = 0  #: curve-cache hits attributable to this item
+    cache_misses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def schedulable(self) -> bool:
+        """Admission verdict; a failed item conservatively rejects."""
+        return bool(self.result is not None and self.result.schedulable)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        n = self.cache_hits + self.cache_misses
+        return self.cache_hits / n if n else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready record (the ``batch`` CLI emits one per line)."""
+        return {
+            "id": self.item_id,
+            "method": self.method,
+            "status": self.status,
+            "schedulable": self.schedulable if self.ok else None,
+            "error": self.error,
+            "wall_time": round(self.wall_time, 6),
+            "rounds": self.rounds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "result": self.result.to_dict() if self.result is not None else None,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Results of one :meth:`BatchEngine.run`, in submission order."""
+
+    results: List[ItemResult] = field(default_factory=list)
+    wall_time: float = 0.0  #: end-to-end batch wall time (seconds)
+    n_workers: int = 0  #: 0 = analyzed serially in the calling process
+
+    def __iter__(self) -> Iterator[ItemResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> ItemResult:
+        return self.results[index]
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for r in self.results if r.ok)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.results) - self.n_ok
+
+    def failures(self) -> List[ItemResult]:
+        return [r for r in self.results if not r.ok]
+
+    def by_status(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for r in self.results:
+            counts[r.status] = counts.get(r.status, 0) + 1
+        return counts
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(r.cache_hits for r in self.results)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(r.cache_misses for r in self.results)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        n = self.cache_hits + self.cache_misses
+        return self.cache_hits / n if n else 0.0
+
+    @property
+    def items_per_second(self) -> float:
+        return len(self.results) / self.wall_time if self.wall_time > 0 else math.inf
+
+    def summary(self) -> str:
+        status = " ".join(f"{k}={v}" for k, v in sorted(self.by_status().items()))
+        return (
+            f"batch: {len(self.results)} items in {self.wall_time:.2f}s "
+            f"({self.items_per_second:.1f} items/s, "
+            f"workers={self.n_workers or 'serial'}) [{status}] "
+            f"cache hit rate {100.0 * self.cache_hit_rate:.1f}% "
+            f"({self.cache_hits} hits / {self.cache_misses} misses)"
+        )
+
+
+# ----------------------------------------------------------------------
+# worker-side machinery (module level so it pickles by reference)
+# ----------------------------------------------------------------------
+
+#: (index, item_id, system, method, horizon) -- the picklable work record.
+_Record = Tuple[int, str, Any, str, Optional[HorizonConfig]]
+
+
+class _ItemTimeout(Exception):
+    """Internal: raised inside a work item when its time budget expires."""
+
+
+@contextmanager
+def _item_timeout(seconds: Optional[float]):
+    """Arm a wall-clock alarm for one item (POSIX main thread only).
+
+    Analysis code is pure Python/numpy, so SIGALRM is delivered between
+    bytecodes and surfaces here as :class:`_ItemTimeout`.  On platforms
+    without ``setitimer`` (or off the main thread) the timeout is a no-op
+    rather than an error -- degraded, not broken.
+    """
+    if (
+        not seconds
+        or seconds <= 0
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise _ItemTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _analyze_one(
+    record: _Record,
+    timeout: Optional[float],
+    cache: Optional[memo.CurveCache],
+) -> ItemResult:
+    index, item_id, system, method, horizon = record
+    before = cache.stats() if cache is not None else None
+    t0 = time.perf_counter()
+    result: Optional[AnalysisResult] = None
+    error: Optional[str] = None
+    try:
+        with _item_timeout(timeout):
+            result = make_analyzer(method, horizon).analyze(system)
+        status = STATUS_OK
+    except _ItemTimeout:
+        status = STATUS_TIMEOUT
+        error = f"analysis exceeded the {timeout:g}s item timeout"
+    except Exception as exc:  # AnalysisError, ValueError, model errors, ...
+        status = STATUS_ERROR
+        error = f"{type(exc).__name__}: {exc}"
+    wall = time.perf_counter() - t0
+    delta = cache.stats().delta(before) if cache is not None else None
+    return ItemResult(
+        index=index,
+        item_id=item_id,
+        method=method,
+        status=status,
+        result=result,
+        error=error,
+        wall_time=wall,
+        rounds=result.rounds if result is not None else 0,
+        cache_hits=delta.hits if delta is not None else 0,
+        cache_misses=delta.misses if delta is not None else 0,
+    )
+
+
+def _worker_chunk(payload) -> List[ItemResult]:
+    """Pool entry point: analyze one chunk of records in a worker process.
+
+    The worker enables a process-persistent curve cache on first use, so
+    memoized kernels survive across chunks dispatched to the same worker
+    -- this is where cross-item curve reuse pays off.
+    """
+    records, timeout, use_cache, cache_size = payload
+    cache = memo.enable_curve_cache(cache_size) if use_cache else None
+    return [_analyze_one(rec, timeout, cache) for rec in records]
+
+
+class BatchEngine:
+    """Fan batch items across a process pool; degrade gracefully.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes.  ``None``, 0 or 1 analyze serially in the
+        calling process (no pickling, still cached and timed out).
+    chunksize:
+        Items per pool task; ``None`` picks ``ceil(n / (4 * workers))``
+        capped at 32 -- large enough to amortize pickling, small enough
+        to balance stragglers.
+    timeout:
+        Per-item wall-clock budget in seconds (``None`` = unlimited).
+        Enforced inside the worker via an interval timer, so one slow
+        item is cut off without losing its chunk-mates.
+    use_cache:
+        Memoize the min-plus kernel per worker process (and, serially,
+        per engine) via :mod:`repro.curves.memo`.
+    cache_size:
+        LRU capacity of each per-process curve cache.
+    """
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        timeout: Optional[float] = None,
+        use_cache: bool = True,
+        cache_size: int = memo.DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if chunksize is not None and chunksize <= 0:
+            raise ValueError("chunksize must be positive")
+        self.n_workers = int(n_workers) if n_workers else 0
+        self.chunksize = chunksize
+        self.timeout = timeout
+        self.use_cache = use_cache
+        self.cache_size = cache_size
+        # Serial-mode cache persists across run() calls, mirroring the
+        # per-worker persistent caches of the pool path.
+        self._serial_cache: Optional[memo.CurveCache] = (
+            memo.CurveCache(cache_size) if use_cache else None
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(self, items: Sequence[BatchItem]) -> BatchReport:
+        """Analyze every item; returns a report in submission order."""
+        items = list(items)
+        records: List[_Record] = [
+            (
+                i,
+                item.item_id if item.item_id is not None else str(i),
+                item.system,
+                item.method,
+                item.horizon,
+            )
+            for i, item in enumerate(items)
+        ]
+        t0 = time.perf_counter()
+        if self.n_workers > 1 and len(records) > 1:
+            results = self._run_pool(records)
+            n_workers = self.n_workers
+        else:
+            results = self._run_serial(records)
+            n_workers = 0
+        results.sort(key=lambda r: r.index)
+        return BatchReport(
+            results=results,
+            wall_time=time.perf_counter() - t0,
+            n_workers=n_workers,
+        )
+
+    def run_systems(
+        self,
+        systems: Iterable[System],
+        method: str = "SPP/Exact",
+        horizon: Optional[HorizonConfig] = None,
+    ) -> BatchReport:
+        """Convenience wrapper: one item per system, a single method."""
+        return self.run(
+            [BatchItem(system=s, method=method, horizon=horizon) for s in systems]
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_serial(self, records: List[_Record]) -> List[ItemResult]:
+        if self._serial_cache is not None:
+            with memo.curve_cache(cache=self._serial_cache) as cache:
+                return [_analyze_one(r, self.timeout, cache) for r in records]
+        return [_analyze_one(r, self.timeout, None) for r in records]
+
+    def _chunk(self, records: List[_Record]) -> List[List[_Record]]:
+        size = self.chunksize
+        if size is None:
+            size = max(1, min(32, -(-len(records) // (4 * self.n_workers))))
+        return [records[i : i + size] for i in range(0, len(records), size)]
+
+    def _run_pool(self, records: List[_Record]) -> List[ItemResult]:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures.process import BrokenProcessPool
+
+        def payload(chunk: List[_Record]):
+            return (chunk, self.timeout, self.use_cache, self.cache_size)
+
+        results: List[ItemResult] = []
+        suspects: List[_Record] = []
+        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+            futures = {
+                pool.submit(_worker_chunk, payload(chunk)): chunk
+                for chunk in self._chunk(records)
+            }
+            for fut in as_completed(futures):
+                try:
+                    results.extend(fut.result())
+                except Exception:  # BrokenProcessPool, result-pickling, ...
+                    # A worker died (or the chunk result failed to travel
+                    # back).  Innocent chunk-mates are retried one at a
+                    # time below so the culprit can be pinned down.
+                    suspects.extend(futures[fut])
+
+        # Second pass: isolate crashes item by item in fresh pools.  A
+        # record that breaks its pool twice is reported as a crash; its
+        # former chunk-mates come back with real results.
+        while suspects:
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                while suspects:
+                    record = suspects[0]
+                    try:
+                        chunk_result = pool.submit(
+                            _worker_chunk, payload([record])
+                        ).result()
+                    except Exception as exc:  # noqa: BLE001 - crash isolation
+                        results.append(_crash_result(record, exc))
+                        suspects.pop(0)
+                        break  # this pool is broken; open a fresh one
+                    results.extend(chunk_result)
+                    suspects.pop(0)
+        return results
+
+
+def _crash_result(record: _Record, exc: Exception) -> ItemResult:
+    index, item_id, _system, method, _horizon = record
+    return ItemResult(
+        index=index,
+        item_id=item_id,
+        method=method,
+        status=STATUS_CRASH,
+        error=f"worker process died while analyzing this item "
+        f"({type(exc).__name__}: {exc})",
+    )

@@ -24,13 +24,24 @@ Commands
 
         python -m repro figures --figure 3 --sets 100
 
+``batch``
+    Bulk-analyze JSON-lines work items through the batch engine
+    (JSON-lines out, one result record per input item)::
+
+        python -m repro batch items.jsonl --workers 4 --timeout 30
+
 ``methods``
     List the available analysis methods.
+
+``analyze`` and ``validate`` accept ``--json`` to emit the stable
+machine-readable result schema documented in ``docs/api.md`` instead of
+the human-readable summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -56,6 +67,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument(
         "--method", default="SPP/Exact", choices=sorted(METHODS), metavar="METHOD"
     )
+    p_an.add_argument(
+        "--json", action="store_true", help="emit the machine-readable result schema"
+    )
 
     p_sim = sub.add_parser("simulate", help="simulate a JSON system description")
     p_sim.add_argument("system")
@@ -67,11 +81,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument(
         "--method", default="SPP/Exact", choices=sorted(METHODS), metavar="METHOD"
     )
+    p_val.add_argument(
+        "--json", action="store_true", help="emit the machine-readable result schema"
+    )
 
     p_fig = sub.add_parser("figures", help="regenerate Figure 3 / Figure 4")
     p_fig.add_argument("--figure", choices=["3", "4", "both"], default="both")
     p_fig.add_argument("--sets", type=int, default=30)
     p_fig.add_argument("--workers", type=int, default=None)
+
+    p_bat = sub.add_parser(
+        "batch", help="bulk-analyze JSON-lines work items (JSON-lines out)"
+    )
+    p_bat.add_argument(
+        "input",
+        nargs="?",
+        default="-",
+        help="JSONL file of work items ('-' = stdin); each line is either a "
+        "system description or {'id':..., 'method':..., 'system': {...}}",
+    )
+    p_bat.add_argument(
+        "--method",
+        default="SPP/Exact",
+        choices=sorted(METHODS),
+        metavar="METHOD",
+        help="default method for items that do not name one",
+    )
+    p_bat.add_argument("--workers", type=int, default=None)
+    p_bat.add_argument("--chunksize", type=int, default=None)
+    p_bat.add_argument(
+        "--timeout", type=float, default=None, help="per-item timeout in seconds"
+    )
+    p_bat.add_argument(
+        "--no-cache", action="store_true", help="disable curve-cache memoization"
+    )
 
     p_rep = sub.add_parser("report", help="markdown analysis report")
     p_rep.add_argument("system")
@@ -92,7 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_analyze(args) -> int:
     system = load_system(args.system)
     result = make_analyzer(args.method).analyze(system)
-    print(result.summary())
+    print(result.to_json(indent=2) if args.json else result.summary())
     return 0 if result.schedulable else 1
 
 
@@ -108,21 +151,38 @@ def _cmd_simulate(args) -> int:
 def _cmd_validate(args) -> int:
     system = load_system(args.system)
     result = make_analyzer(args.method).analyze(system)
-    print(result.summary())
+    if not args.json:
+        print(result.summary())
     if not result.drained:
-        print("analysis did not drain; skipping simulation comparison")
+        if args.json:
+            print(json.dumps({"analysis": result.to_dict(), "simulation": None}))
+        else:
+            print("analysis did not drain; skipping simulation comparison")
         return 1
     rep = result.horizon / 2
     sim = run_simulation(system, horizon=result.horizon, report_window=rep)
     ok = True
+    comparison = {}
     for job_id, er in sorted(result.jobs.items()):
         observed = sim.jobs[job_id].max_response(rep)
         holds = observed <= er.wcrt + 1e-9
         ok = ok and holds
-        print(
-            f"  {job_id}: bound {er.wcrt:.6g} vs simulated {observed:.6g} "
-            f"[{'ok' if holds else 'VIOLATION'}]"
-        )
+        comparison[job_id] = {
+            "bound": er.wcrt,
+            "observed": observed,
+            "bound_holds": holds,
+        }
+        if not args.json:
+            print(
+                f"  {job_id}: bound {er.wcrt:.6g} vs simulated {observed:.6g} "
+                f"[{'ok' if holds else 'VIOLATION'}]"
+            )
+    if args.json:
+        payload = {
+            "analysis": result.to_dict(),
+            "simulation": {"jobs": comparison, "all_bounds_hold": ok},
+        }
+        print(json.dumps(payload, indent=2, allow_nan=False))
     return 0 if ok else 2
 
 
@@ -142,6 +202,56 @@ def _cmd_figures(args) -> int:
         cfg4 = Figure4Config(n_sets=args.sets, n_workers=args.workers)
         print(format_figure(run_figure4(cfg4), "Figure 4 (bursty arrivals)"))
     return 0
+
+
+def _cmd_batch(args) -> int:
+    from .batch import BatchEngine, BatchItem
+    from .model.io import system_from_dict
+
+    if args.input == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.input) as fh:
+            lines = fh.read().splitlines()
+
+    items: List[BatchItem] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"error: {args.input} line {lineno}: invalid JSON: {exc}",
+                  file=sys.stderr)
+            return 2
+        wrapped = isinstance(obj, dict) and "system" in obj
+        system_dict = obj["system"] if wrapped else obj
+        try:
+            system = system_from_dict(system_dict)
+        except (KeyError, TypeError, ValueError) as exc:
+            print(f"error: {args.input} line {lineno}: bad system description: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+        items.append(
+            BatchItem(
+                system=system,
+                method=(obj.get("method") or args.method) if wrapped else args.method,
+                item_id=str(obj["id"]) if wrapped and "id" in obj else str(lineno),
+            )
+        )
+
+    engine = BatchEngine(
+        n_workers=args.workers,
+        chunksize=args.chunksize,
+        timeout=args.timeout,
+        use_cache=not args.no_cache,
+    )
+    report = engine.run(items)
+    for record in report:
+        print(json.dumps(record.to_dict(), allow_nan=False))
+    print(report.summary(), file=sys.stderr)
+    return 0 if report.n_failed == 0 else 1
 
 
 def _cmd_report(args) -> int:
@@ -171,6 +281,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "validate": _cmd_validate,
         "figures": _cmd_figures,
+        "batch": _cmd_batch,
         "report": _cmd_report,
         "methods": _cmd_methods,
     }

@@ -1,11 +1,21 @@
 """Curve algebra for cumulative arrival/workload/service functions.
 
-See :mod:`repro.curves.curve` for the :class:`Curve` data type and
+See :mod:`repro.curves.curve` for the :class:`Curve` data type,
 :mod:`repro.curves.ops` for the min-plus operators used by the response
-time analysis (Theorems 3--9 of Li, Bettati & Zhao, ICPP 1998).
+time analysis (Theorems 3--9 of Li, Bettati & Zhao, ICPP 1998), and
+:mod:`repro.curves.memo` for the opt-in memoization of the hot
+:func:`service_transform` kernel.
 """
 
 from .curve import EPS, Curve, CurveError
+from .memo import (
+    CacheStats,
+    CurveCache,
+    active_curve_cache,
+    curve_cache,
+    disable_curve_cache,
+    enable_curve_cache,
+)
 from .ops import (
     fcfs_service_bounds,
     fcfs_utilization,
@@ -25,4 +35,10 @@ __all__ = [
     "service_transform",
     "fcfs_utilization",
     "fcfs_service_bounds",
+    "CacheStats",
+    "CurveCache",
+    "active_curve_cache",
+    "curve_cache",
+    "disable_curve_cache",
+    "enable_curve_cache",
 ]

@@ -77,7 +77,7 @@ class Curve:
     constant zero function.
     """
 
-    __slots__ = ("x", "y", "final_slope")
+    __slots__ = ("x", "y", "final_slope", "_memo_token")
 
     def __init__(
         self,
@@ -111,6 +111,8 @@ class Curve:
         self.x = xs
         self.y = ys
         self.final_slope = max(0.0, float(final_slope))
+        #: Lazily computed breakpoint digest (see :mod:`repro.curves.memo`).
+        self._memo_token = None
         if canonicalize:
             self._canonicalize()
 

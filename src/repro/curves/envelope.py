@@ -35,12 +35,12 @@ abscissa reinterpreted as a window length ``delta``.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from .curve import EPS, Curve, CurveError
-from .ops import identity_minus, sum_curves
+from .ops import identity_minus
 
 __all__ = [
     "max_count_envelope",

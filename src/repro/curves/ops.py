@@ -20,10 +20,11 @@ breakpoints of ``B`` and the (lag-shifted) kinks of ``R``.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from . import memo
 from .curve import EPS, Curve, CurveError
 
 __all__ = [
@@ -72,12 +73,27 @@ def sum_curves(curves: Sequence[Curve]) -> Curve:
 
     Used for the higher-priority service totals in Theorems 3/5/6 and the
     processor workload total ``G_j = sum c_{k,l}`` of Theorem 7 (Eq. 21).
+    Memoized on the operands' hashed breakpoints when a curve cache is
+    active (see :mod:`repro.curves.memo`).
     """
     curves = list(curves)
     if not curves:
         return Curve.zero()
     if len(curves) == 1:
         return curves[0]
+    cache = memo.active_curve_cache()
+    if cache is None:
+        return _sum_curves_impl(curves)
+    key = memo.transform_key(b"sum_curves", curves, ())
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    result = _sum_curves_impl(curves)
+    cache.put(key, result)
+    return result
+
+
+def _sum_curves_impl(curves: List[Curve]) -> Curve:
     grid = _union_grid([c.x for c in curves])
     left = np.zeros_like(grid)
     right = np.zeros_like(grid)
@@ -156,11 +172,29 @@ def identity_minus(total: Curve, lateness: float = 0.0, mode: str = "exact") -> 
       value: sound for the availability inside a *lower* service bound),
       ``"upper"`` the running-maximum closure (never lowers a value: sound
       inside an *upper* service bound).
+
+    Memoized on ``total``'s hashed breakpoints plus ``(lateness, mode)``
+    when a curve cache is active (see :mod:`repro.curves.memo`).
     """
     if lateness < 0:
         raise CurveError("lateness must be non-negative")
     if mode not in ("exact", "lower", "upper"):
         raise CurveError(f"unknown mode {mode!r}")
+    cache = memo.active_curve_cache()
+    if cache is None:
+        return _identity_minus_impl(total, lateness, mode)
+    key = memo.transform_key(
+        b"identity_minus:" + mode.encode(), (total,), (lateness,)
+    )
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    result = _identity_minus_impl(total, lateness, mode)
+    cache.put(key, result)
+    return result
+
+
+def _identity_minus_impl(total: Curve, lateness: float, mode: str) -> Curve:
     if mode == "exact" and not total.is_continuous(tol=1e-7):
         raise CurveError(
             "exact availability transform requires a continuous total"
@@ -205,16 +239,21 @@ def identity_minus(total: Curve, lateness: float = 0.0, mode: str = "exact") -> 
                 xs = np.append(xs, t)
                 hs = np.append(hs, 0.0)
     y = np.maximum(hs, 0.0)
-    non_monotone = bool(np.any(np.diff(y) < -1e-7))
-    if non_monotone:
-        if mode == "exact":
-            raise CurveError(
-                "exact availability transform received a total with slope > 1"
-            )
-        if mode == "upper":
-            np.maximum.accumulate(y, out=y)
-        else:  # lower: suffix minimum (non-decreasing, never above y)
+    dips = np.diff(y)
+    if mode == "exact" and bool(np.any(dips < -1e-7)):
+        raise CurveError(
+            "exact availability transform received a total with slope > 1"
+        )
+    # Close *any* dip beyond the constructor tolerance, not just the
+    # >1e-7 ones: dips in (EPS, 1e-7] used to slip through the closure
+    # and then crash Curve's monotonicity check.  In exact mode such a
+    # residual dip is float noise (real violations raised above), and the
+    # running maximum matches the constructor's own noise clamp.
+    if bool(np.any(dips < -EPS)):
+        if mode == "lower":  # suffix minimum: non-decreasing, never above y
             y = np.minimum.accumulate(y[::-1])[::-1]
+        else:  # upper (or exact-mode noise): running maximum
+            np.maximum.accumulate(y, out=y)
     fs = max(0.0, 1.0 - total.final_slope)
     return Curve(xs, y, fs)
 
@@ -314,6 +353,11 @@ def service_transform(
 ) -> Curve:
     """The paper's min-plus service kernel (Theorems 3, 5, 6, 7).
 
+    When a curve cache is active (see :mod:`repro.curves.memo`), results
+    are memoized on the hashed breakpoints of ``B`` and ``c`` plus
+    ``(lag, t_end)``; the kernel is a pure function of those inputs, so a
+    hit returns the identical curve that a fresh evaluation would.
+
     Parameters
     ----------
     B:
@@ -341,6 +385,19 @@ def service_transform(
         raise CurveError("lag must be non-negative")
     if not math.isfinite(t_end):
         t_end = max(B.x_end, c.x_end) + 1.0
+    cache = memo.active_curve_cache()
+    if cache is None:
+        return _service_transform_impl(B, c, lag, t_end)
+    key = memo.transform_key(b"service_transform", (B, c), (lag, t_end))
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    result = _service_transform_impl(B, c, lag, t_end)
+    cache.put(key, result)
+    return result
+
+
+def _service_transform_impl(B: Curve, c: Curve, lag: float, t_end: float) -> Curve:
     u_arr, r_arr, r_fs = _running_min_branch(B, c, max(t_end - lag, 0.0) + EPS)
 
     grid = _union_grid(

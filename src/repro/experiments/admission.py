@@ -3,6 +3,16 @@
 The paper's metric: generate ``n_sets`` random job sets per parameter
 point, run each analysis method on each set, and report the fraction of
 sets whose every job meets its end-to-end deadline ("admitted").
+
+All analysis work is funneled through the shared
+:class:`~repro.batch.BatchEngine`: one batch item per ``(job set,
+method)`` pair, fanned across a process pool when ``n_workers`` is set.
+Job-set *generation* always stays in the caller, so the stream of random
+sets -- and therefore every admission probability -- is identical whether
+the sweep runs serially, in a pool, with or without the curve cache.
+A method that raises on a set (e.g. SPP/S&L on aperiodic jobs) or whose
+worker fails surfaces as a structured failure record and counts as a
+rejection, exactly as the sequential path always has.
 """
 
 from __future__ import annotations
@@ -13,22 +23,44 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from ..analysis import HorizonConfig, make_analyzer
+from ..analysis import METHODS, HorizonConfig
+from ..batch import BatchEngine, BatchItem
 from ..model.job import JobSet
 from ..model.priorities import assign_priorities_proportional_deadline
 from ..model.system import SchedulingPolicy, System
 
-__all__ = ["AdmissionPoint", "AdmissionCurve", "admission_probability", "sweep"]
+__all__ = [
+    "AdmissionPoint",
+    "AdmissionCurve",
+    "admission_probability",
+    "sweep",
+    "system_for_method",
+]
 
-#: Scheduler actually used on processors for each analysis method.
-METHOD_POLICY = {
-    "SPP/Exact": SchedulingPolicy.SPP,
-    "SPP/S&L": SchedulingPolicy.SPP,
-    "SPP/App": SchedulingPolicy.SPP,
-    "SPNP/App": SchedulingPolicy.SPNP,
-    "FCFS/App": SchedulingPolicy.FCFS,
-    "Fixpoint/App": SchedulingPolicy.SPP,
+#: Scheduler used on processors for each analysis method (derived from the
+#: analyzers' own ``policy`` attribute; methods that honor per-processor
+#: policies are absent and fall back to SPP, the paper's default).
+#: Kept as a module attribute for backwards compatibility.
+METHOD_POLICY: Dict[str, SchedulingPolicy] = {
+    name: analyzer.policy
+    for name, analyzer in ((n, cls(None)) for n, cls in METHODS.items())
+    if analyzer.policy is not None
 }
+
+
+def system_for_method(job_set: JobSet, method: str) -> System:
+    """The system a method analyzes in the paper's comparison.
+
+    Each method analyzes the job set under its own scheduler (SPNP/App on
+    SPNP processors, FCFS/App on FCFS processors, the SPP family on SPP);
+    priority-driven policies get Eq. 24 priorities unless the set already
+    carries explicit ones.
+    """
+    policy = METHOD_POLICY.get(method, SchedulingPolicy.SPP)
+    system = System(job_set, policy)
+    if policy != SchedulingPolicy.FCFS and not job_set.priorities_assigned():
+        assign_priorities_proportional_deadline(system)
+    return system
 
 
 @dataclass
@@ -50,6 +82,9 @@ class AdmissionCurve:
     label: str
     methods: List[str]
     points: List[AdmissionPoint] = field(default_factory=list)
+    #: Aggregate batch metrics of the sweep that produced this curve
+    #: (analysis wall time, curve-cache hits/misses, failure counts).
+    stats: Dict[str, float] = field(default_factory=dict)
 
     def series(self, method: str) -> List[float]:
         return [p.probability(method) for p in self.points]
@@ -58,47 +93,49 @@ class AdmissionCurve:
         return [p.utilization for p in self.points]
 
 
+def _count_admitted(
+    report, items: Sequence[BatchItem], methods: Sequence[str]
+) -> Dict[str, int]:
+    counts = {m: 0 for m in methods}
+    for item, record in zip(items, report):
+        if record.schedulable:
+            counts[item.method] += 1
+    return counts
+
+
+def _accumulate_stats(stats: Dict[str, float], report) -> None:
+    stats["analysis_wall_time"] = (
+        stats.get("analysis_wall_time", 0.0) + report.wall_time
+    )
+    for key, value in (
+        ("n_items", len(report)),
+        ("n_failed", report.n_failed),
+        ("cache_hits", report.cache_hits),
+        ("cache_misses", report.cache_misses),
+    ):
+        stats[key] = stats.get(key, 0) + value
+    lookups = stats.get("cache_hits", 0) + stats.get("cache_misses", 0)
+    stats["cache_hit_rate"] = stats.get("cache_hits", 0) / lookups if lookups else 0.0
+
+
 def admission_probability(
     job_sets: Iterable[JobSet],
     methods: Sequence[str],
     horizon: Optional[HorizonConfig] = None,
+    engine: Optional[BatchEngine] = None,
 ) -> Dict[str, float]:
-    """Fraction of job sets admitted by each method.
-
-    Each method analyzes the system under its own scheduler (SPNP/App on
-    SPNP processors, FCFS/App on FCFS processors, the SPP family on SPP),
-    exactly as in the paper's comparison.
-    """
+    """Fraction of job sets admitted by each method."""
     sets = list(job_sets)
-    counts = {m: 0 for m in methods}
-    for job_set in sets:
-        for method in methods:
-            if _admits(job_set, method, horizon):
-                counts[method] += 1
+    if engine is None:
+        engine = BatchEngine()
+    items = [
+        BatchItem(system=system_for_method(js, m), method=m, horizon=horizon)
+        for js in sets
+        for m in methods
+    ]
+    counts = _count_admitted(engine.run(items), items, methods)
     n = len(sets)
     return {m: counts[m] / n if n else math.nan for m in methods}
-
-
-def _admits(
-    job_set: JobSet, method: str, horizon: Optional[HorizonConfig]
-) -> bool:
-    policy = METHOD_POLICY.get(method, SchedulingPolicy.SPP)
-    system = System(job_set, policy)
-    if policy != SchedulingPolicy.FCFS and not job_set.priorities_assigned():
-        assign_priorities_proportional_deadline(system)
-    analyzer = make_analyzer(method, horizon)
-    try:
-        return analyzer.analyze(system).schedulable
-    except Exception:
-        # A method that cannot handle the set (e.g. S&L on aperiodic jobs)
-        # rejects it; the experiment drivers never mix those on purpose.
-        return False
-
-
-def _admit_vector(args) -> Dict[str, bool]:
-    """Worker: admission verdict of every method on one job set."""
-    job_set, methods, horizon = args
-    return {m: _admits(job_set, m, horizon) for m in methods}
 
 
 def sweep(
@@ -110,31 +147,33 @@ def sweep(
     rng: np.random.Generator,
     horizon: Optional[HorizonConfig] = None,
     n_workers: Optional[int] = None,
+    engine: Optional[BatchEngine] = None,
 ) -> AdmissionCurve:
     """Sweep admission probability over the utilization axis.
 
     ``make_jobset(utilization, rng)`` draws one random job set; ``n_sets``
-    sets are drawn per utilization (the paper uses 1000).  With
-    ``n_workers`` set, job sets are analyzed in a process pool
-    (embarrassingly parallel across sets; generation stays in the parent
-    so the stream of random sets is identical either way).
+    sets are drawn per utilization (the paper uses 1000).  Analysis runs
+    on a :class:`~repro.batch.BatchEngine` -- pass ``n_workers`` for a
+    process pool, or a pre-configured ``engine`` to share worker settings
+    (and the serial curve cache) across several sweeps.
     """
+    if engine is None:
+        engine = BatchEngine(n_workers=n_workers)
     curve = AdmissionCurve(label=label, methods=list(methods))
     for u in utilizations:
-        point = AdmissionPoint(utilization=u, n_sets=n_sets)
-        counts = {m: 0 for m in methods}
-        tasks = [(make_jobset(u, rng), tuple(methods), horizon) for _ in range(n_sets)]
-        if n_workers and n_workers > 1:
-            from concurrent.futures import ProcessPoolExecutor
-
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                verdicts = list(pool.map(_admit_vector, tasks, chunksize=4))
-        else:
-            verdicts = [_admit_vector(t) for t in tasks]
-        for verdict in verdicts:
-            for method, ok in verdict.items():
-                if ok:
-                    counts[method] += 1
-        point.admitted = counts
-        curve.points.append(point)
+        sets = [make_jobset(u, rng) for _ in range(n_sets)]
+        items = [
+            BatchItem(system=system_for_method(js, m), method=m, horizon=horizon)
+            for js in sets
+            for m in methods
+        ]
+        report = engine.run(items)
+        curve.points.append(
+            AdmissionPoint(
+                utilization=u,
+                n_sets=n_sets,
+                admitted=_count_admitted(report, items, methods),
+            )
+        )
+        _accumulate_stats(curve.stats, report)
     return curve

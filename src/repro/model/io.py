@@ -52,7 +52,7 @@ from .priorities import (
     assign_priorities_proportional_deadline,
     assign_priorities_rate_monotonic,
 )
-from .system import SchedulingPolicy, System
+from .system import System
 
 __all__ = ["system_to_dict", "system_from_dict", "load_system", "save_system"]
 

@@ -11,7 +11,7 @@ release times of its first subjob, and an end-to-end deadline ``D_k``.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 from .arrivals import ArrivalProcess

@@ -18,7 +18,7 @@ always well-defined.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Mapping, Tuple, Union
+from typing import Callable, Dict, Mapping, Tuple, Union
 
 from .job import JobSet, SubJob
 from .system import System

@@ -10,7 +10,7 @@ The paper analyzes systems whose processors run preemptive static priority
 from __future__ import annotations
 
 import enum
-from typing import Dict, Hashable, Iterable, Mapping, Optional, Union
+from typing import Dict, Hashable, Iterable, Mapping, Union
 
 from .job import Job, JobSet, SubJob
 

@@ -15,10 +15,9 @@ response-time bound must dominate the corresponding simulated response.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Hashable, Optional
 
-from ..model.system import SchedulingPolicy, System
+from ..model.system import System
 from .engine import EventQueue
 from .processor import InstanceTask, ProcessorSim
 from .trace import InstanceRecord, JobTrace, SimulationResult

@@ -12,7 +12,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Tuple
+from typing import Callable, Optional
 
 __all__ = ["Event", "EventQueue", "SimClock"]
 

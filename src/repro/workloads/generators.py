@@ -29,14 +29,12 @@ are unaffected since every method sees identical job sets.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..model.arrivals import BurstyArrivals, PeriodicArrivals
-from ..model.job import Job, JobSet, SubJob
+from ..model.job import Job, JobSet
 from .jobshop import ShopTopology, random_routing
 
 __all__ = [

@@ -10,7 +10,7 @@ draws the per-stage processor assignment used by the random experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -1,8 +1,6 @@
 """Unit tests for the admission API and the adaptive horizon driver."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.analysis import HolisticSPPAnalysis, SppExactAnalysis
+from repro.analysis import SppExactAnalysis
 from repro.analysis.busy_period import (
     PeriodicTask,
     busy_period_length,

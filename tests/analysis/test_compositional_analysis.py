@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.analysis import (
@@ -18,7 +17,6 @@ from repro.model import (
     JobSet,
     PeriodicArrivals,
     System,
-    TraceArrivals,
     assign_priorities_explicit,
     assign_priorities_proportional_deadline,
 )

@@ -1,6 +1,5 @@
 """Tests for the run-time admission controller."""
 
-import pytest
 
 from repro.analysis import AdmissionController
 from repro.model import BurstyArrivals, Job, PeriodicArrivals

@@ -7,7 +7,6 @@ import pytest
 from repro.analysis import (
     CyclicDependencyError,
     FixpointAnalysis,
-    SpnpApproxAnalysis,
     SppApproxAnalysis,
     dependency_order,
 )

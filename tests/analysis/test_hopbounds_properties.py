@@ -3,8 +3,7 @@
 import math
 
 import numpy as np
-import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.hopbounds import (

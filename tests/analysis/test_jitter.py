@@ -1,6 +1,5 @@
 """Tests for release-jitter support across the analyses."""
 
-import math
 
 import numpy as np
 import pytest
@@ -90,7 +89,6 @@ class TestValidation:
         res = analyzer_cls().analyze(sys_)
         assert res.drained
         rep = res.horizon / 2
-        worst = 0.0
         for seed in range(8):
             sim = simulate(
                 sys_, horizon=res.horizon, report_window=rep,

@@ -1,6 +1,5 @@
 """Tests for non-preemptable sections (generalized Eq. 15 blocking)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

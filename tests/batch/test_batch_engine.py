@@ -1,0 +1,212 @@
+"""Tests for the parallel batch-analysis engine (repro.batch)."""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.analysis.admission import METHODS
+from repro.batch import (
+    STATUS_CRASH,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    BatchEngine,
+    BatchItem,
+)
+from repro.model import (
+    Job,
+    JobSet,
+    PeriodicArrivals,
+    System,
+    assign_priorities_proportional_deadline,
+)
+
+IS_FORK = multiprocessing.get_start_method() == "fork"
+
+
+def small_system(period=5.0, wcet=1.0, deadline=10.0):
+    jobs = [
+        Job.build("a", [("cpu", wcet)], PeriodicArrivals(period), deadline),
+        Job.build("b", [("cpu", 2 * wcet)], PeriodicArrivals(1.2 * period), deadline),
+    ]
+    sys_ = System(JobSet(jobs), "spp")
+    assign_priorities_proportional_deadline(sys_)
+    return sys_
+
+
+def doomed_system(period=5.0):
+    """A system no analysis can admit (wcet exceeds the deadline)."""
+    job = Job.build("x", [("cpu", 3.0)], PeriodicArrivals(period), 1.0)
+    sys_ = System(JobSet([job]), "spp")
+    assign_priorities_proportional_deadline(sys_)
+    return sys_
+
+
+class _Bomb:
+    """Pickles fine in the parent, kills the process that unpickles it."""
+
+    def __reduce__(self):
+        return (os._exit, (13,))
+
+
+class _SleepyAnalysis:
+    """Fake analyzer whose analysis outlives any reasonable item timeout."""
+
+    name = "Sleepy"
+    policy = None
+
+    def __init__(self, horizon=None):
+        self.horizon = horizon
+
+    def analyze(self, system):
+        time.sleep(30.0)
+        raise AssertionError("the item timeout should have fired")
+
+
+class TestSerial:
+    def test_basic_run(self):
+        engine = BatchEngine()
+        report = engine.run_systems([small_system(), small_system(7.0)])
+        assert len(report) == 2
+        assert report.n_ok == 2 and report.n_failed == 0
+        assert [r.index for r in report] == [0, 1]
+        assert [r.item_id for r in report] == ["0", "1"]
+        assert all(r.status == STATUS_OK for r in report)
+        assert all(r.schedulable for r in report)
+        assert all(r.rounds >= 1 for r in report)
+
+    def test_item_ids_and_methods_carried(self):
+        item = BatchItem(system=small_system(), method="SPNP/App", item_id="alpha")
+        record = BatchEngine().run([item])[0]
+        assert record.item_id == "alpha"
+        assert record.method == "SPNP/App"
+        assert record.result.method == "SPNP/App"
+
+    def test_unschedulable_is_ok_status(self):
+        record = BatchEngine().run_systems([doomed_system()])[0]
+        assert record.status == STATUS_OK
+        assert record.ok and not record.schedulable
+
+    def test_analysis_error_is_structured(self):
+        report = BatchEngine().run(
+            [
+                BatchItem(system=small_system(), method="No/Such"),
+                BatchItem(system=small_system()),
+            ]
+        )
+        bad, good = report[0], report[1]
+        assert bad.status == STATUS_ERROR
+        assert not bad.ok and not bad.schedulable
+        assert bad.result is None
+        assert "No/Such" in bad.error
+        assert good.status == STATUS_OK  # failure never poisons neighbours
+
+    @pytest.mark.skipif(not hasattr(__import__("signal"), "setitimer"),
+                        reason="needs POSIX interval timers")
+    def test_item_timeout(self, monkeypatch):
+        monkeypatch.setitem(METHODS, "Sleepy", _SleepyAnalysis)
+        report = BatchEngine(timeout=0.2).run(
+            [
+                BatchItem(system=small_system(), method="Sleepy"),
+                BatchItem(system=small_system()),
+            ]
+        )
+        assert report[0].status == STATUS_TIMEOUT
+        assert "0.2" in report[0].error
+        assert report[1].status == STATUS_OK
+
+    def test_serial_cache_persists_across_runs(self):
+        engine = BatchEngine()
+        sys_ = small_system()
+        first = engine.run_systems([sys_])
+        second = engine.run_systems([sys_])
+        assert first.cache_misses > 0
+        assert second.cache_hits > 0  # warmed by the previous run()
+
+    def test_chunksize_validation(self):
+        with pytest.raises(ValueError):
+            BatchEngine(chunksize=0)
+
+
+@pytest.mark.skipif(not IS_FORK, reason="pool tests assume fork start method")
+class TestPool:
+    def test_pool_matches_serial(self):
+        items = [
+            BatchItem(system=small_system(3.0 + i), item_id=f"s{i}")
+            for i in range(5)
+        ]
+        serial = BatchEngine(use_cache=False).run(items)
+        pooled = BatchEngine(n_workers=2, chunksize=2).run(items)
+        assert pooled.n_workers == 2
+        assert [r.item_id for r in pooled] == [r.item_id for r in serial]
+        for a, b in zip(pooled, serial):
+            assert a.status == b.status == STATUS_OK
+            assert a.result.to_dict() == b.result.to_dict()
+
+    def test_cache_does_not_change_results(self):
+        items = [BatchItem(system=small_system(3.0 + i)) for i in range(4)]
+        on = BatchEngine(n_workers=2, use_cache=True).run(items)
+        off = BatchEngine(n_workers=2, use_cache=False).run(items)
+        for a, b in zip(on, off):
+            assert a.result.to_dict() == b.result.to_dict()
+        assert off.cache_hits == 0 and off.cache_misses == 0
+
+    def test_worker_crash_is_isolated(self):
+        items = [
+            BatchItem(system=small_system(), item_id="good0"),
+            BatchItem(system=_Bomb(), item_id="bomb"),
+            BatchItem(system=small_system(4.0), item_id="good1"),
+            BatchItem(system=small_system(6.0), item_id="good2"),
+        ]
+        report = BatchEngine(n_workers=2, chunksize=2).run(items)
+        by_id = {r.item_id: r for r in report}
+        assert len(report) == 4  # no item was lost
+        assert by_id["bomb"].status == STATUS_CRASH
+        assert "died" in by_id["bomb"].error
+        for good in ("good0", "good1", "good2"):
+            assert by_id[good].status == STATUS_OK, good
+        assert report.by_status() == {STATUS_OK: 3, STATUS_CRASH: 1}
+
+    def test_all_items_crashing(self):
+        items = [BatchItem(system=_Bomb(), item_id=f"b{i}") for i in range(3)]
+        report = BatchEngine(n_workers=2, chunksize=1).run(items)
+        assert all(r.status == STATUS_CRASH for r in report)
+        assert report.n_failed == 3
+
+
+class TestReport:
+    def test_summary_and_metrics(self):
+        report = BatchEngine().run_systems([small_system(), small_system(9.0)])
+        text = report.summary()
+        assert "2 items" in text
+        assert "cache hit rate" in text
+        assert report.items_per_second > 0
+        assert 0.0 <= report.cache_hit_rate <= 1.0
+        assert all(r.wall_time > 0 for r in report)
+
+    def test_failures_listing(self):
+        report = BatchEngine().run(
+            [
+                BatchItem(system=small_system(), method="No/Such"),
+                BatchItem(system=small_system()),
+            ]
+        )
+        assert [f.method for f in report.failures()] == ["No/Such"]
+
+    def test_record_dict_is_json_ready(self):
+        report = BatchEngine().run(
+            [
+                BatchItem(system=small_system(), item_id="fine"),
+                BatchItem(system=small_system(), method="No/Such", item_id="sick"),
+            ]
+        )
+        for record in report:
+            payload = json.loads(json.dumps(record.to_dict(), allow_nan=False))
+            assert payload["id"] == record.item_id
+            assert payload["status"] == record.status
+        ok, bad = report[0].to_dict(), report[1].to_dict()
+        assert ok["schedulable"] is True and ok["result"]["schema"] == 1
+        assert bad["schedulable"] is None and bad["result"] is None

@@ -1,0 +1,133 @@
+"""Tests for the curve-operation memoization layer (repro.curves.memo)."""
+
+import numpy as np
+import pytest
+
+from repro.curves import (
+    Curve,
+    CurveCache,
+    active_curve_cache,
+    curve_cache,
+    disable_curve_cache,
+    enable_curve_cache,
+    identity_minus,
+    service_transform,
+    sum_curves,
+)
+from repro.curves.memo import _curve_token, transform_key
+
+
+@pytest.fixture(autouse=True)
+def _no_global_cache():
+    """Each test starts and ends with no process-global cache active."""
+    disable_curve_cache()
+    yield
+    disable_curve_cache()
+
+
+def _step(times, height=1.0):
+    return Curve.step_from_times(np.asarray(times, dtype=float), height)
+
+
+class TestTokens:
+    def test_equal_curves_share_token(self):
+        a = Curve([0.0, 1.0, 3.0], [0.0, 1.0, 2.0], 0.5)
+        b = Curve([0.0, 1.0, 3.0], [0.0, 1.0, 2.0], 0.5)
+        assert a is not b
+        assert _curve_token(a) == _curve_token(b)
+
+    def test_different_curves_differ(self):
+        a = Curve([0.0, 1.0], [0.0, 1.0], 0.0)
+        b = Curve([0.0, 1.0], [0.0, 2.0], 0.0)
+        c = Curve([0.0, 1.0], [0.0, 1.0], 1.0)
+        tokens = {_curve_token(x) for x in (a, b, c)}
+        assert len(tokens) == 3
+
+    def test_transform_key_depends_on_op_and_scalars(self):
+        a = Curve.identity()
+        k1 = transform_key(b"op1", (a,), (1.0, 2.0))
+        k2 = transform_key(b"op2", (a,), (1.0, 2.0))
+        k3 = transform_key(b"op1", (a,), (1.0, 3.0))
+        assert len({k1, k2, k3}) == 3
+
+
+class TestCacheSemantics:
+    def test_cached_equals_uncached(self):
+        B = Curve.identity()
+        c = _step([0.0, 2.0, 4.0], 1.5)
+        plain = service_transform(B, c, 0.5, 30.0)
+        with curve_cache() as cache:
+            first = service_transform(B, c, 0.5, 30.0)
+            second = service_transform(B, c, 0.5, 30.0)
+        assert second is first  # hit returns the cached instance
+        assert np.array_equal(first.x, plain.x)
+        assert np.array_equal(first.y, plain.y)
+        assert first.final_slope == plain.final_slope
+        assert cache.stats().hits == 1
+        assert cache.stats().misses >= 1
+
+    def test_sum_and_identity_minus_memoized(self):
+        a = _step([0.0, 1.0, 2.0])
+        b = _step([0.5, 1.5])
+        with curve_cache() as cache:
+            s1 = sum_curves([a, b])
+            s2 = sum_curves([a, b])
+            v1 = identity_minus(s1, mode="lower")
+            v2 = identity_minus(s2, mode="lower")
+        assert s2 is s1
+        assert v2 is v1
+        assert cache.stats().hits == 2
+
+    def test_identity_minus_mode_in_key(self):
+        total = _step([0.0, 3.0], 0.5)
+        with curve_cache():
+            lo = identity_minus(total, mode="lower")
+            up = identity_minus(total, mode="upper")
+        # Distinct modes must never alias to one cache entry.
+        assert lo is not up
+
+    def test_lru_eviction(self):
+        cache = CurveCache(maxsize=2)
+        with curve_cache(cache=cache):
+            c1 = service_transform(Curve.identity(), _step([0.0]), 0.0, 10.0)
+            service_transform(Curve.identity(), _step([1.0]), 0.0, 10.0)
+            service_transform(Curve.identity(), _step([2.0]), 0.0, 10.0)
+            assert cache.stats().size == 2
+            # The oldest entry was evicted: recomputing it misses.
+            before = cache.stats().misses
+            again = service_transform(Curve.identity(), _step([0.0]), 0.0, 10.0)
+        assert cache.stats().misses == before + 1
+        assert np.array_equal(again.x, c1.x)
+
+    def test_context_manager_restores_prior(self):
+        outer = enable_curve_cache(16)
+        assert active_curve_cache() is outer
+        with curve_cache() as inner:
+            assert active_curve_cache() is inner
+        assert active_curve_cache() is outer
+        assert disable_curve_cache() is outer
+        assert active_curve_cache() is None
+
+    def test_enable_keeps_existing(self):
+        first = enable_curve_cache(16)
+        second = enable_curve_cache(16)
+        assert second is first
+
+    def test_no_cache_means_fresh_objects(self):
+        B = Curve.identity()
+        c = _step([0.0, 2.0])
+        assert service_transform(B, c, 0.0, 10.0) is not service_transform(
+            B, c, 0.0, 10.0
+        )
+
+
+class TestStats:
+    def test_hit_rate_and_delta(self):
+        with curve_cache() as cache:
+            service_transform(Curve.identity(), _step([0.0]), 0.0, 10.0)
+            before = cache.stats()
+            service_transform(Curve.identity(), _step([0.0]), 0.0, 10.0)
+            delta = cache.stats().delta(before)
+        assert delta.hits == 1
+        assert delta.misses == 0
+        assert cache.stats().hit_rate == pytest.approx(0.5)

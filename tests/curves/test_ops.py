@@ -1,6 +1,5 @@
 """Unit tests for curve operators: sums, minima, availability, kernel."""
 
-import math
 
 import numpy as np
 import pytest

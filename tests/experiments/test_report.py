@@ -1,6 +1,5 @@
 """Tests for the markdown report generator."""
 
-import pytest
 
 from repro.experiments import analysis_report
 from repro.model import (

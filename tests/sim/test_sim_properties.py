@@ -1,8 +1,6 @@
 """Property-based invariants of the discrete-event simulator."""
 
-import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -82,6 +82,94 @@ class TestCommands:
         assert "[ok]" in capsys.readouterr().out
 
 
+class TestJsonOutput:
+    def test_analyze_json_round_trip(self, system_file, capsys):
+        assert main(["analyze", system_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        from repro.analysis import make_analyzer
+        from repro.model.io import load_system
+
+        direct = make_analyzer("SPP/Exact").analyze(load_system(system_file))
+        assert payload == direct.to_dict()
+        assert payload["schema"] == 1
+        assert payload["schedulable"] is True
+        assert set(payload["jobs"]) == {"a", "b"}
+
+    def test_analyze_json_unschedulable(self, missing_deadline_file, capsys):
+        assert main(["analyze", missing_deadline_file, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schedulable"] is False
+        assert payload["jobs"]["b"]["meets_deadline"] is False
+
+    def test_validate_json(self, system_file, capsys):
+        assert main(["validate", system_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["analysis"]["schema"] == 1
+        sim = payload["simulation"]
+        assert sim["all_bounds_hold"] is True
+        for job_id, row in sim["jobs"].items():
+            assert row["bound_holds"] is True
+            assert row["observed"] <= row["bound"] + 1e-9
+            assert job_id in payload["analysis"]["jobs"]
+
+
+class TestBatchCommand:
+    def _write_items(self, tmp_path):
+        lines = [
+            json.dumps({"id": "one", "method": "SPP/Exact", "system": SYSTEM}),
+            json.dumps({"id": "two", "system": SYSTEM}),  # falls back to --method
+            json.dumps(SYSTEM),  # bare system line
+            "# comment lines and blanks are skipped",
+            "",
+        ]
+        path = tmp_path / "items.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_batch_file_input(self, tmp_path, capsys):
+        path = self._write_items(tmp_path)
+        assert main(["batch", path, "--method", "SPNP/App"]) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert [r["id"] for r in records] == ["one", "two", "3"]
+        assert [r["method"] for r in records] == ["SPP/Exact", "SPNP/App", "SPNP/App"]
+        assert all(r["status"] == "ok" for r in records)
+        assert all(r["schedulable"] is True for r in records)
+        assert all(r["result"]["schema"] == 1 for r in records)
+        assert "batch: 3 items" in captured.err
+
+    def test_batch_stdin(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(SYSTEM) + "\n"))
+        assert main(["batch"]) == 0
+        records = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert len(records) == 1
+        assert records[0]["id"] == "1"
+
+    def test_batch_failure_exit_code(self, tmp_path, capsys):
+        # A per-line method is not vetted by argparse; an unknown one
+        # surfaces as a structured failure record and a non-zero exit.
+        path = tmp_path / "items.jsonl"
+        path.write_text(
+            json.dumps({"id": "sick", "method": "No/Such", "system": SYSTEM})
+            + "\n"
+            + json.dumps(SYSTEM)
+            + "\n"
+        )
+        assert main(["batch", str(path)]) == 1
+        records = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert records[0]["status"] == "error"
+        assert records[0]["schedulable"] is None
+        assert records[1]["status"] == "ok"
+
+    def test_batch_no_cache_flag(self, tmp_path, capsys):
+        path = self._write_items(tmp_path)
+        assert main(["batch", path, "--no-cache"]) == 0
+        records = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert all(r["cache_hits"] == 0 and r["cache_misses"] == 0 for r in records)
+
+
 class TestReportCommand:
     def test_report(self, system_file, capsys):
         assert main(["report", system_file, "--method", "SPP/Exact",
