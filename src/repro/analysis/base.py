@@ -139,6 +139,10 @@ class AnalysisResult:
     converged: bool  #: bounds stable under horizon doubling
     jobs: Dict[str, EndToEndResult] = field(default_factory=dict)
     rounds: int = 0  #: adaptive-horizon rounds (doublings + 1); 0 if horizon-free
+    #: Structured warnings emitted while analyzing (convergence watchdog
+    #: bails, oscillation detection, ...).  Each entry is a JSON-safe dict
+    #: with at least a ``"kind"`` key.  Empty on clean runs.
+    diagnostics: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def schedulable(self) -> bool:
@@ -173,9 +177,11 @@ class AnalysisResult:
         The layout is versioned by the top-level ``schema`` field (see
         ``docs/api.md``).  Non-finite floats (an unbounded response time,
         the infinite horizon of horizon-free methods) are mapped to
-        ``None`` so the payload is strict JSON.
+        ``None`` so the payload is strict JSON.  The optional
+        ``diagnostics`` key is present only when the analysis emitted
+        structured warnings, so clean payloads are unchanged.
         """
-        return {
+        payload: Dict[str, Any] = {
             "schema": RESULT_SCHEMA_VERSION,
             "method": self.method,
             "horizon": _json_float(self.horizon),
@@ -194,6 +200,9 @@ class AnalysisResult:
                 for job_id, r in sorted(self.jobs.items())
             },
         }
+        if self.diagnostics:
+            payload["diagnostics"] = list(self.diagnostics)
+        return payload
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """Serialize :meth:`to_dict` as strict JSON (no NaN/Infinity)."""

@@ -49,6 +49,14 @@ __all__ = ["FixpointAnalysis"]
 Key = Tuple[str, int]
 
 
+def _totals_close(a: Dict[str, float], b: Dict[str, float]) -> bool:
+    """Finite, per-job agreement of two delay-sum vectors within 1e-9."""
+    return all(
+        math.isfinite(a[j]) and math.isfinite(b[j]) and abs(a[j] - b[j]) <= 1e-9
+        for j in a
+    )
+
+
 class FixpointAnalysis:
     """Theorem-4 bounds via Kleene iteration; handles cyclic systems.
 
@@ -135,9 +143,11 @@ class FixpointAnalysis:
                 acc = acc + sub.wcet
 
         prev_totals: Optional[Dict[str, float]] = None
+        prev_prev_totals: Optional[Dict[str, float]] = None
+        diagnostics = []
         delays: Dict[Key, float] = {}
         hop_ok: Dict[Key, bool] = {}
-        for _ in range(self.max_iterations):
+        for sweep in range(self.max_iterations):
             c_early = {s.key: visible_step(early[s.key], s.wcet, h) for s in subs}
             c_late = {s.key: visible_step(late[s.key], s.wcet, h) for s in subs}
             u_lo_cache: Dict[Hashable, Curve] = {}
@@ -207,18 +217,52 @@ class FixpointAnalysis:
             # Converged only when every bound is finite and stable: an
             # infinite total may still be propagating through the loop
             # (each sweep resolves one more hop of a cyclic chain).
-            if prev_totals is not None and all(
-                math.isfinite(totals[j])
-                and math.isfinite(prev_totals[j])
-                and abs(totals[j] - prev_totals[j]) <= 1e-9
-                for j in totals
-            ):
+            if prev_totals is not None and _totals_close(totals, prev_totals):
                 break
+            # Watchdog: a period-2 oscillation (this sweep matches the one
+            # before last but not the last) can only repeat forever -- the
+            # iterates are monotone per hop, so once the per-job sums cycle,
+            # further sweeps reproduce the cycle.  The current iterate is
+            # still a sound bound; stop and say why.
+            if (
+                prev_prev_totals is not None
+                and _totals_close(totals, prev_prev_totals)
+                and not _totals_close(totals, prev_totals)
+            ):
+                diagnostics.append(
+                    {
+                        "kind": "oscillation",
+                        "source": "FixpointAnalysis",
+                        "sweep": sweep + 1,
+                        "horizon": h,
+                        "detail": (
+                            "per-job delay sums alternate between two values; "
+                            "returning the current (sound) iterate"
+                        ),
+                    }
+                )
+                break
+            prev_prev_totals = prev_totals
             prev_totals = totals
+        else:
+            diagnostics.append(
+                {
+                    "kind": "iteration_budget_exhausted",
+                    "source": "FixpointAnalysis",
+                    "sweep": self.max_iterations,
+                    "horizon": h,
+                    "detail": (
+                        f"per-job delay sums not stable after "
+                        f"{self.max_iterations} Kleene sweeps; returning the "
+                        f"last (sound) iterate"
+                    ),
+                }
+            )
 
         result = AnalysisResult(
             method=self.method, horizon=h, drained=False, converged=False
         )
+        result.diagnostics.extend(diagnostics)
         all_ok = True
         for job in job_set:
             ok = all(hop_ok[s.key] for s in job.subjobs)

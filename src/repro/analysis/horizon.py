@@ -47,12 +47,23 @@ class HorizonConfig:
     require_convergence: bool = True  #: demand bound stability across rounds
     rel_tol: float = 1e-9  #: relative tolerance for bound stability
     utilization_guard: float = 1.0 - 1e-9  #: reject if a processor is loaded beyond this
+    watchdog: bool = True  #: bail early on detected divergence/oscillation
 
     def __post_init__(self) -> None:
         if self.growth <= 1.0:
             raise ValueError("growth must exceed 1")
         if not (0.0 < self.analyze_fraction <= 1.0):
             raise ValueError("analyze_fraction must be in (0, 1]")
+
+
+#: Consecutive bound-tracks-horizon rounds before the watchdog calls it
+#: divergence.  Three doublings of steady geometric growth is well past any
+#: transient a stable system exhibits while its busy window fills out.
+_DIVERGENCE_ROUNDS = 3
+
+#: Fraction of the horizon growth factor the bounds must keep up with for a
+#: round to count toward the divergence streak.
+_DIVERGENCE_TRACK = 0.8
 
 
 def initial_horizon(job_set: JobSet) -> float:
@@ -86,6 +97,25 @@ def _stable(
     return True
 
 
+def _growth_tracks_horizon(
+    prev: Dict[str, float], cur: Dict[str, float], growth: float
+) -> bool:
+    """True if some job's bound grew almost as fast as the horizon did.
+
+    A bound that keeps pace with geometric horizon growth is the signature
+    of divergence: each doubling reveals a proportionally worse instance, so
+    waiting for stability is hopeless.
+    """
+    threshold = _DIVERGENCE_TRACK * growth
+    for job_id, v in cur.items():
+        p = prev.get(job_id)
+        if p is None or not math.isfinite(p) or not math.isfinite(v) or p <= 0:
+            continue
+        if v >= threshold * p:
+            return True
+    return False
+
+
 def run_adaptive(
     analyze_once: Callable[[float, float], Tuple[AnalysisResult, bool]],
     job_set: JobSet,
@@ -98,9 +128,26 @@ def run_adaptive(
     soon as a run is ``ok`` and either already unschedulable (larger
     horizons only confirm misses: per-hop maxima are taken over a superset
     of instances) or stable against the previous ``ok`` run.
+
+    With ``config.watchdog`` enabled (the default), the driver also
+    recognizes two non-converging shapes early instead of silently burning
+    the full round budget:
+
+    * **divergence** -- the per-job bounds keep growing in lockstep with the
+      horizon for several consecutive drained rounds (the signature of a
+      borderline-overloaded system whose busy window never closes);
+    * **oscillation** -- the bounds alternate between two values on
+      successive drained rounds (``round n`` matches ``round n-2`` but not
+      ``round n-1``).
+
+    Either way the result comes back ``converged=False`` (exactly as if the
+    round budget had been exhausted) with a structured entry appended to
+    ``result.diagnostics`` naming the pattern, the round, and the horizon.
     """
     h = config.initial if config.initial is not None else initial_horizon(job_set)
     prev_bounds: Optional[Dict[str, float]] = None
+    prev_prev_bounds: Optional[Dict[str, float]] = None
+    diverging_rounds = 0
     last_result: Optional[AnalysisResult] = None
     for round_idx in range(config.max_rounds):
         report = h * config.analyze_fraction
@@ -122,10 +169,66 @@ def run_adaptive(
             ):
                 result.converged = True
                 return result
+            if config.watchdog and bounds:
+                if prev_bounds is not None and _growth_tracks_horizon(
+                    prev_bounds, bounds, config.growth
+                ):
+                    diverging_rounds += 1
+                else:
+                    diverging_rounds = 0
+                if diverging_rounds >= _DIVERGENCE_ROUNDS:
+                    result.converged = False
+                    result.diagnostics.append(
+                        {
+                            "kind": "divergence",
+                            "source": "run_adaptive",
+                            "round": round_idx + 1,
+                            "horizon": h,
+                            "detail": (
+                                f"bounds tracked horizon growth (x{config.growth:g}) "
+                                f"for {diverging_rounds} consecutive drained rounds"
+                            ),
+                        }
+                    )
+                    return result
+                if (
+                    prev_prev_bounds is not None
+                    and _stable(prev_prev_bounds, bounds, config.rel_tol)
+                    and prev_bounds is not None
+                    and not _stable(prev_bounds, bounds, config.rel_tol)
+                ):
+                    result.converged = False
+                    result.diagnostics.append(
+                        {
+                            "kind": "oscillation",
+                            "source": "run_adaptive",
+                            "round": round_idx + 1,
+                            "horizon": h,
+                            "detail": (
+                                "bounds alternate between two values on "
+                                "successive drained rounds"
+                            ),
+                        }
+                    )
+                    return result
+            prev_prev_bounds = prev_bounds
             prev_bounds = bounds
         else:
             prev_bounds = None
+            prev_prev_bounds = None
+            diverging_rounds = 0
         h *= config.growth
     assert last_result is not None
     last_result.converged = False
+    last_result.diagnostics.append(
+        {
+            "kind": "round_budget_exhausted",
+            "source": "run_adaptive",
+            "round": config.max_rounds,
+            "horizon": h / config.growth,
+            "detail": (
+                f"no stable drained result within {config.max_rounds} rounds"
+            ),
+        }
+    )
     return last_result

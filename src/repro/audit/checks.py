@@ -1,0 +1,529 @@
+"""Soundness checks: cross-validate analytic bounds against the simulator.
+
+The paper's central claim is an *ordering*: for every legal arrival
+pattern, the simulated (exact) behavior must stay on the safe side of the
+analytic bounds.  :func:`cross_validate` turns that claim into executable
+checks on one concrete system:
+
+* **response bounds** -- every simulated end-to-end response of an
+  analyzed instance is ``<=`` the method's worst-case bound (Theorems
+  1/4 and the stationary network-calculus bound);
+* **hop brackets** -- simulated per-hop completions stay inside the
+  per-instance envelopes the analyses derive: above the Lemma-2 earliest
+  envelope (dedicated-processor floors), below the Lemma-1 / Theorem-5/6
+  latest-departure bounds;
+* **envelopes** -- the release trace each job actually produces conforms
+  to the arrival envelope :func:`repro.curves.envelope.envelope_of`
+  declares for its process (the HeRTA-style event-bound consistency
+  check).
+
+Every failed comparison becomes a structured :class:`Violation` record;
+an empty violation list on a fuzzed corpus is the audit's evidence of
+soundness, and a non-empty one (e.g. from the deliberate corruption mode
+of :mod:`repro.audit.faults`) feeds the counterexample shrinker.
+
+The simulation horizon is capped (``sim_cap``): checking a *prefix* of
+the analyzed instances is still a valid soundness check, and truncating
+later arrivals can only lower observed responses -- never manufacture a
+false violation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis import METHODS
+from ..analysis.base import AnalysisError, AnalysisResult, _json_float
+from ..analysis.hopbounds import apply_departure_floors
+from ..analysis.horizon import HorizonConfig
+from ..curves import audit_checks
+from ..curves.envelope import envelope_of
+from ..model.system import SchedulingPolicy, System
+from ..sim import simulate
+
+__all__ = [
+    "AUDIT_METHODS",
+    "VIOLATION_SCHEMA_VERSION",
+    "Violation",
+    "CrossValidation",
+    "cross_validate",
+    "make_audit_analyzer",
+    "verify_trace_in_envelope",
+]
+
+#: All registered analysis methods, in registry order.
+AUDIT_METHODS = tuple(METHODS)
+
+#: Version tag embedded in every serialized violation record.
+VIOLATION_SCHEMA_VERSION = 1
+
+#: Methods whose ``SubjobResult.completion_times`` is the hop's *own*
+#: exact completion (vs. the compositional family, where hop ``j`` stores
+#: the latest-arrival envelope, i.e. hop ``j-1``'s departure bound).
+_EXACT_HOP_METHODS = frozenset({"SPP/Exact"})
+
+#: Default relative/absolute tolerance for bound comparisons.  Bounds and
+#: simulated times accumulate independent float error; a violation must
+#: clear this margin to count.
+DEFAULT_TOL = 1e-6
+
+
+@dataclass
+class Violation:
+    """One failed soundness comparison, JSON-ready.
+
+    ``kind`` is one of ``response_bound``, ``hop_upper``, ``hop_lower``,
+    ``envelope`` or ``physical_floor``; ``observed``/``bound`` carry the
+    two sides of the failed comparison when they are meaningful.
+    """
+
+    kind: str
+    method: str
+    job_id: Optional[str] = None
+    instance: Optional[int] = None
+    hop: Optional[int] = None
+    observed: Optional[float] = None
+    bound: Optional[float] = None
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": VIOLATION_SCHEMA_VERSION,
+            "kind": self.kind,
+            "method": self.method,
+            "job_id": self.job_id,
+            "instance": self.instance,
+            "hop": self.hop,
+            "observed": _json_float(self.observed)
+            if self.observed is not None
+            else None,
+            "bound": _json_float(self.bound) if self.bound is not None else None,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Violation":
+        return cls(
+            kind=data["kind"],
+            method=data.get("method", ""),
+            job_id=data.get("job_id"),
+            instance=data.get("instance"),
+            hop=data.get("hop"),
+            observed=data.get("observed"),
+            bound=data.get("bound"),
+            detail=data.get("detail", ""),
+        )
+
+
+@dataclass
+class CrossValidation:
+    """Outcome of auditing one system across methods."""
+
+    violations: List[Violation] = field(default_factory=list)
+    n_checks: int = 0  #: individual comparisons performed
+    skipped: Dict[str, str] = field(default_factory=dict)  #: method -> reason
+    errors: Dict[str, str] = field(default_factory=dict)  #: method -> exception
+    results: Dict[str, AnalysisResult] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "n_checks": self.n_checks,
+            "violations": [v.to_dict() for v in self.violations],
+            "skipped": dict(self.skipped),
+            "errors": dict(self.errors),
+        }
+
+
+def make_audit_analyzer(
+    method: str, horizon: Optional[HorizonConfig] = None
+):
+    """Instantiate a method with per-hop artifacts retained when supported.
+
+    The audit's hop-bracket checks need ``keep_curves=True``; analyzers
+    without that knob (holistic, fixpoint, stationary) are constructed
+    plainly and contribute only end-to-end checks.
+    """
+    cls = METHODS[method]
+    try:
+        return cls(horizon, keep_curves=True)
+    except TypeError:
+        return cls(horizon)
+
+
+def verify_trace_in_envelope(
+    times: Sequence[float],
+    envelope,
+    tol: float = 1e-9,
+    max_pairs: int = 2_000_000,
+) -> Optional[str]:
+    """Check a release trace against an arrival envelope.
+
+    Verifies the defining property ``count(window) <= alpha(len(window))``
+    for every window spanned by two releases (sufficient: the maximal
+    count over windows of any length is attained on such a window).
+    Returns ``None`` when the trace conforms, else a description of the
+    first offending window.  Quadratic in the trace length; ``max_pairs``
+    guards against accidental quadratic blowups on huge traces.
+    """
+    ts = np.sort(np.asarray(list(times), dtype=float))
+    n = ts.size
+    if n * n > max_pairs:
+        raise ValueError(
+            f"trace too long for pairwise envelope verification ({n} releases)"
+        )
+    for i in range(n):
+        windows = ts[i:] - ts[i]
+        counts = np.arange(1, n - i + 1, dtype=float)
+        # Evaluate the (right-continuous) envelope a hair to the right of
+        # the window length: float error in ``t_j - t_i`` otherwise lands
+        # just below a staircase jump and misses a whole step.
+        slack = tol + 1e-9 * np.abs(windows)
+        allowed = np.atleast_1d(envelope.value(windows + slack))
+        over = counts > allowed + tol
+        if np.any(over):
+            j = int(np.argmax(over))
+            return (
+                f"{int(counts[j])} releases in window [{ts[i]:g}, "
+                f"{ts[i + j]:g}] but envelope allows {allowed[j]:g}"
+            )
+    return None
+
+
+def _effective_policy(analyzer) -> Optional[SchedulingPolicy]:
+    """The uniform policy an analyzer's bounds refer to, or None (own)."""
+    return getattr(analyzer, "policy", None)
+
+
+def _group_key(policy: Optional[SchedulingPolicy]) -> str:
+    return policy.value if policy is not None else "own"
+
+
+def _sim_system(system: System, policy: Optional[SchedulingPolicy]) -> System:
+    if policy is None:
+        return system
+    return System(system.job_set, policy)
+
+
+def _report_window(analyzer, result: AnalysisResult) -> float:
+    """Length of the window whose instances the result's bounds cover."""
+    if not math.isfinite(result.horizon):
+        return math.inf
+    cfg = getattr(analyzer, "horizon", None)
+    fraction = getattr(cfg, "analyze_fraction", 1.0)
+    return result.horizon * fraction
+
+
+def _exceeds(observed: float, bound: float, tol: float) -> bool:
+    return observed > bound + max(tol, tol * abs(bound))
+
+
+def _check_response_bounds(
+    method: str,
+    result: AnalysisResult,
+    sim,
+    horizon_free: bool,
+    out: CrossValidation,
+    tol: float,
+) -> None:
+    for job_id, er in result.jobs.items():
+        trace = sim.jobs.get(job_id)
+        if trace is None:
+            continue
+        for rec in trace.records:
+            if not rec.finished:
+                continue
+            if not horizon_free and rec.instance > er.n_instances:
+                continue
+            out.n_checks += 1
+            if _exceeds(rec.response, er.wcrt, tol):
+                out.violations.append(
+                    Violation(
+                        kind="response_bound",
+                        method=method,
+                        job_id=job_id,
+                        instance=rec.instance,
+                        observed=rec.response,
+                        bound=er.wcrt,
+                        detail=(
+                            f"simulated response {rec.response:.9g} exceeds "
+                            f"the {method} bound {er.wcrt:.9g}"
+                        ),
+                    )
+                )
+
+
+def _check_hop_brackets(
+    method: str,
+    result: AnalysisResult,
+    sim,
+    out: CrossValidation,
+    tol: float,
+) -> None:
+    """Per-hop bracket checks from the analyzer's own retained envelopes."""
+    exact = method in _EXACT_HOP_METHODS
+    for job_id, er in result.jobs.items():
+        if not er.hops:
+            continue
+        trace = sim.jobs.get(job_id)
+        if trace is None:
+            continue
+        for rec in trace.records:
+            if not rec.finished or rec.instance > er.n_instances:
+                continue
+            m = rec.instance - 1
+            if exact:
+                # completion_times[j] is hop j's own exact completion.
+                for j, hop in enumerate(er.hops):
+                    comp = hop.completion_times
+                    if (
+                        comp is None
+                        or m >= len(comp)
+                        or j >= len(rec.hop_completions)
+                    ):
+                        continue
+                    bound = float(comp[m])
+                    if not math.isfinite(bound):
+                        continue
+                    out.n_checks += 1
+                    if _exceeds(rec.hop_completions[j], bound, tol):
+                        out.violations.append(
+                            Violation(
+                                kind="hop_upper",
+                                method=method,
+                                job_id=job_id,
+                                instance=rec.instance,
+                                hop=j,
+                                observed=rec.hop_completions[j],
+                                bound=bound,
+                                detail=(
+                                    f"simulated hop-{j} completion exceeds "
+                                    f"the exact per-instance completion time"
+                                ),
+                            )
+                        )
+            else:
+                # Compositional family: hop j stores the bracket on the
+                # *arrival* at hop j, i.e. on hop j-1's departure --
+                # arrival_times is the Lemma-2 earliest envelope,
+                # completion_times the Theorem-5/6 latest bound.
+                for j in range(1, len(er.hops)):
+                    hop = er.hops[j]
+                    if j - 1 >= len(rec.hop_completions):
+                        continue
+                    observed = rec.hop_completions[j - 1]
+                    late = hop.completion_times
+                    if late is not None and m < len(late):
+                        bound = float(late[m])
+                        if math.isfinite(bound):
+                            out.n_checks += 1
+                            if _exceeds(observed, bound, tol):
+                                out.violations.append(
+                                    Violation(
+                                        kind="hop_upper",
+                                        method=method,
+                                        job_id=job_id,
+                                        instance=rec.instance,
+                                        hop=j - 1,
+                                        observed=observed,
+                                        bound=bound,
+                                        detail=(
+                                            f"simulated hop-{j - 1} completion "
+                                            f"exceeds the latest-departure bound"
+                                        ),
+                                    )
+                                )
+                    early = hop.arrival_times
+                    if early is not None and m < len(early):
+                        floor = float(early[m])
+                        out.n_checks += 1
+                        if _exceeds(floor, observed, tol):
+                            out.violations.append(
+                                Violation(
+                                    kind="hop_lower",
+                                    method=method,
+                                    job_id=job_id,
+                                    instance=rec.instance,
+                                    hop=j - 1,
+                                    observed=observed,
+                                    bound=floor,
+                                    detail=(
+                                        f"simulated hop-{j - 1} completion "
+                                        f"precedes the Lemma-2 earliest envelope"
+                                    ),
+                                )
+                            )
+
+
+def _check_physical_floors(
+    system: System, sim, out: CrossValidation, tol: float
+) -> None:
+    """Method-independent lower bracket: dedicated-processor floors.
+
+    No schedule can serve instance ``m`` at hop ``j`` before the chained
+    Lemma-2 recursion ``dep_m = max(arr_m, dep_{m-1}) + wcet`` from its
+    nominal releases -- valid under every policy, jitter only delays.
+    """
+    for job in system.jobs:
+        trace = sim.jobs.get(job.job_id)
+        if trace is None or not trace.records:
+            continue
+        releases = np.asarray([r.release for r in trace.records], dtype=float)
+        early = releases
+        for j, sub in enumerate(job.subjobs):
+            floors = apply_departure_floors(early + sub.wcet, early, sub.wcet)
+            for m, rec in enumerate(trace.records):
+                if not rec.finished or j >= len(rec.hop_completions):
+                    continue
+                out.n_checks += 1
+                if _exceeds(floors[m], rec.hop_completions[j], tol):
+                    out.violations.append(
+                        Violation(
+                            kind="physical_floor",
+                            method="",
+                            job_id=job.job_id,
+                            instance=rec.instance,
+                            hop=j,
+                            observed=rec.hop_completions[j],
+                            bound=float(floors[m]),
+                            detail=(
+                                f"simulated hop-{j} completion precedes the "
+                                f"dedicated-processor floor"
+                            ),
+                        )
+                    )
+            early = floors
+
+
+def _check_envelopes(
+    system: System, window: float, out: CrossValidation, tol: float
+) -> None:
+    for job in system.jobs:
+        times = job.arrivals.release_times(window)
+        if len(times) == 0:
+            continue
+        env = envelope_of(job.arrivals, horizon=max(window, 200.0))
+        out.n_checks += 1
+        problem = verify_trace_in_envelope(times, env, tol)
+        if problem:
+            out.violations.append(
+                Violation(
+                    kind="envelope",
+                    method="",
+                    job_id=job.job_id,
+                    detail=(
+                        f"release trace escapes the declared "
+                        f"{type(job.arrivals).__name__} envelope: {problem}"
+                    ),
+                )
+            )
+
+
+def cross_validate(
+    system: System,
+    methods: Sequence[str] = AUDIT_METHODS,
+    horizon: Optional[HorizonConfig] = None,
+    sim_cap: float = 300.0,
+    tol: float = DEFAULT_TOL,
+    jitter_offsets: Optional[Dict[str, Any]] = None,
+    analyzers: Optional[Dict[str, Any]] = None,
+    check_envelopes: bool = True,
+) -> CrossValidation:
+    """Audit one system: run analyses + simulations, assert the ordering.
+
+    Parameters
+    ----------
+    system:
+        The system under audit (priorities already assigned where needed).
+    methods:
+        Method names to audit (default: all registered methods).
+    horizon:
+        Optional :class:`HorizonConfig` applied to every analyzer.
+    sim_cap:
+        Upper limit on the simulated window.  A shorter simulation checks
+        a prefix of the analyzed instances -- sound, never a false
+        violation -- while keeping dense systems affordable.
+    tol:
+        Relative/absolute tolerance a violation must clear.
+    jitter_offsets:
+        Adversarial per-instance release offsets handed to the simulator
+        (see :func:`repro.sim.simulate`).
+    analyzers:
+        Per-method analyzer instance overrides -- the fault injector uses
+        this to swap in a :class:`~repro.audit.faults.CorruptedAnalyzer`.
+    check_envelopes:
+        Also verify each job's release trace against its declared arrival
+        envelope.
+
+    Methods that reject the system (``AnalysisError``: wrong policy mix,
+    aperiodic jobs for the holistic baseline, jitter for the exact
+    analysis) are recorded under ``skipped``; unexpected exceptions under
+    ``errors``; neither counts as a soundness violation.  Curve invariant
+    checking (:func:`repro.curves.set_audit_checks`) is active for the
+    whole call.
+    """
+    out = CrossValidation()
+    with audit_checks():
+        instances: Dict[str, Any] = {}
+        for method in methods:
+            analyzer = (
+                analyzers[method]
+                if analyzers is not None and method in analyzers
+                else make_audit_analyzer(method, horizon)
+            )
+            instances[method] = analyzer
+            try:
+                out.results[method] = analyzer.analyze(system)
+            except AnalysisError as exc:
+                out.skipped[method] = str(exc)
+            except Exception as exc:  # noqa: BLE001 - audit must not die
+                out.errors[method] = f"{type(exc).__name__}: {exc}"
+
+        # Group analyzed methods by the policy their bounds refer to; one
+        # simulation serves every method in a group.
+        groups: Dict[str, List[str]] = {}
+        for method, result in out.results.items():
+            key = _group_key(_effective_policy(instances[method]))
+            groups.setdefault(key, []).append(method)
+
+        for key, group_methods in groups.items():
+            windows = []
+            for method in group_methods:
+                r = _report_window(instances[method], out.results[method])
+                windows.append(sim_cap if math.isinf(r) else min(r, sim_cap))
+            window = max(windows)
+            if window <= 0:
+                continue
+            policy = None if key == "own" else SchedulingPolicy(key)
+            sim = simulate(
+                _sim_system(system, policy),
+                horizon=window,
+                report_window=window,
+                jitter_offsets=jitter_offsets,
+            )
+            for method in group_methods:
+                result = out.results[method]
+                if not result.drained and not math.isinf(result.horizon):
+                    out.skipped.setdefault(
+                        method, "analysis did not drain; bounds not final"
+                    )
+                    continue
+                horizon_free = not math.isfinite(result.horizon)
+                _check_response_bounds(
+                    method, result, sim, horizon_free, out, tol
+                )
+                _check_hop_brackets(method, result, sim, out, tol)
+            _check_physical_floors(system, sim, out, tol)
+
+        if check_envelopes:
+            window = min(sim_cap, 200.0)
+            _check_envelopes(system, window, out, tol)
+    return out

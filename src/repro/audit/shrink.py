@@ -1,0 +1,168 @@
+"""Counterexample shrinking for audit violations.
+
+When :func:`repro.audit.checks.cross_validate` flags a violation, the
+raw offending system is usually noise: a handful of jobs over several
+processors with fractional parameters.  :func:`shrink_counterexample`
+applies delta-debugging-style greedy passes to the system's *dict* form
+(see :func:`repro.model.io.system_to_dict`) and keeps any transformation
+under which the caller's ``still_fails`` predicate continues to hold:
+
+* drop jobs, one at a time, to a fixed point;
+* drop route hops from the back, then the front, of each job;
+* round every numeric parameter to fewer and fewer digits.
+
+The result is the minimal system (often one or two jobs with integer
+parameters) that still exhibits the violation -- saved as a JSON artifact
+that loads straight back through :func:`repro.model.io.system_from_dict`
+and doubles as a regression corpus entry.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+from typing import Any, Callable, Dict, List, Optional
+
+from ..model.io import SystemFormatError, system_from_dict
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "make_artifact",
+    "save_artifact",
+    "shrink_counterexample",
+]
+
+ARTIFACT_SCHEMA_VERSION = 1
+
+Predicate = Callable[[Dict[str, Any]], bool]
+
+
+class _Budget:
+    """Caps predicate evaluations so shrinking always terminates quickly."""
+
+    def __init__(self, max_evals: int) -> None:
+        self.remaining = max_evals
+
+    def spend(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def _check(candidate: Dict[str, Any], still_fails: Predicate, budget: _Budget) -> bool:
+    """True when the candidate is well-formed AND still reproduces the bug."""
+    if not budget.spend():
+        return False
+    try:
+        system_from_dict(copy.deepcopy(candidate))
+    except (SystemFormatError, ValueError):
+        return False
+    try:
+        return bool(still_fails(copy.deepcopy(candidate)))
+    except Exception:  # noqa: BLE001 - a crashing candidate is not a repro
+        return False
+
+
+def _drop_jobs(data: Dict[str, Any], still_fails: Predicate, budget: _Budget) -> Dict[str, Any]:
+    changed = True
+    while changed and len(data["jobs"]) > 1:
+        changed = False
+        for i in range(len(data["jobs"]) - 1, -1, -1):
+            candidate = copy.deepcopy(data)
+            del candidate["jobs"][i]
+            if _check(candidate, still_fails, budget):
+                data = candidate
+                changed = True
+    return data
+
+
+def _drop_hops(data: Dict[str, Any], still_fails: Predicate, budget: _Budget) -> Dict[str, Any]:
+    for last_first in (True, False):
+        changed = True
+        while changed:
+            changed = False
+            for i, job in enumerate(data["jobs"]):
+                if len(job.get("route", [])) <= 1:
+                    continue
+                candidate = copy.deepcopy(data)
+                route = candidate["jobs"][i]["route"]
+                route.pop(-1 if last_first else 0)
+                if _check(candidate, still_fails, budget):
+                    data = candidate
+                    changed = True
+    return data
+
+
+def _round_numbers(obj: Any, digits: int) -> Any:
+    if isinstance(obj, bool):
+        return obj
+    if isinstance(obj, float):
+        rounded = round(obj, digits)
+        return rounded if rounded != 0 or obj == 0 else obj
+    if isinstance(obj, dict):
+        return {k: _round_numbers(v, digits) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_round_numbers(v, digits) for v in obj]
+    return obj
+
+
+def _round_pass(data: Dict[str, Any], still_fails: Predicate, budget: _Budget) -> Dict[str, Any]:
+    for digits in (6, 3, 2, 1, 0):
+        candidate = _round_numbers(copy.deepcopy(data), digits)
+        if candidate != data and _check(candidate, still_fails, budget):
+            data = candidate
+    return data
+
+
+def shrink_counterexample(
+    system_dict: Dict[str, Any],
+    still_fails: Predicate,
+    max_evals: int = 200,
+) -> Dict[str, Any]:
+    """Greedily minimize a failing system dict.
+
+    ``still_fails`` receives a candidate system dict (already validated
+    to load) and returns True when the violation still reproduces; it is
+    called at most ``max_evals`` times.  The input is returned unchanged
+    when no smaller reproduction is found (including when the input
+    itself no longer fails -- shrinking never invents failures).
+    """
+    data = copy.deepcopy(system_dict)
+    budget = _Budget(max_evals)
+    data = _drop_jobs(data, still_fails, budget)
+    data = _drop_hops(data, still_fails, budget)
+    data = _round_pass(data, still_fails, budget)
+    # Rounding can unlock further job drops (and vice versa); one more
+    # cheap fixed-point pass catches the common cases.
+    data = _drop_jobs(data, still_fails, budget)
+    return data
+
+
+def make_artifact(
+    system_dict: Dict[str, Any],
+    violations: List[Dict[str, Any]],
+    method: str = "",
+    fault: str = "",
+    seed: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Bundle a (shrunk) failing system with its violation records."""
+    return {
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "method": method,
+        "fault": fault,
+        "seed": seed,
+        "violations": violations,
+        "system": system_dict,
+    }
+
+
+def save_artifact(artifact: Dict[str, Any], directory: str, name: str) -> str:
+    """Write an artifact JSON under ``directory``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

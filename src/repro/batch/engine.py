@@ -93,6 +93,8 @@ class ItemResult:
     rounds: int = 0  #: adaptive-horizon rounds used (0 for horizon-free)
     cache_hits: int = 0  #: curve-cache hits attributable to this item
     cache_misses: int = 0
+    audited: bool = False  #: soundness audit ran for this item
+    violations: List[Dict[str, Any]] = field(default_factory=list)  #: audit findings
 
     @property
     def ok(self) -> bool:
@@ -109,8 +111,12 @@ class ItemResult:
         return self.cache_hits / n if n else 0.0
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready record (the ``batch`` CLI emits one per line)."""
-        return {
+        """JSON-ready record (the ``batch`` CLI emits one per line).
+
+        The ``violations`` key appears only on audited items, keeping the
+        baseline record schema unchanged for ordinary batch runs.
+        """
+        payload = {
             "id": self.item_id,
             "method": self.method,
             "status": self.status,
@@ -122,6 +128,9 @@ class ItemResult:
             "cache_misses": self.cache_misses,
             "result": self.result.to_dict() if self.result is not None else None,
         }
+        if self.audited:
+            payload["violations"] = list(self.violations)
+        return payload
 
 
 @dataclass
@@ -159,6 +168,11 @@ class BatchReport:
         return counts
 
     @property
+    def n_violations(self) -> int:
+        """Total soundness violations found by audited items."""
+        return sum(len(r.violations) for r in self.results)
+
+    @property
     def cache_hits(self) -> int:
         return sum(r.cache_hits for r in self.results)
 
@@ -190,8 +204,8 @@ class BatchReport:
 # worker-side machinery (module level so it pickles by reference)
 # ----------------------------------------------------------------------
 
-#: (index, item_id, system, method, horizon) -- the picklable work record.
-_Record = Tuple[int, str, Any, str, Optional[HorizonConfig]]
+#: (index, item_id, system, method, horizon, audit) -- the picklable record.
+_Record = Tuple[int, str, Any, str, Optional[HorizonConfig], bool]
 
 
 class _ItemTimeout(Exception):
@@ -233,14 +247,24 @@ def _analyze_one(
     timeout: Optional[float],
     cache: Optional[memo.CurveCache],
 ) -> ItemResult:
-    index, item_id, system, method, horizon = record
+    index, item_id, system, method, horizon, audit = record
     before = cache.stats() if cache is not None else None
     t0 = time.perf_counter()
     result: Optional[AnalysisResult] = None
     error: Optional[str] = None
+    audited = False
+    violations: List[Dict[str, Any]] = []
     try:
         with _item_timeout(timeout):
             result = make_analyzer(method, horizon).analyze(system)
+            if audit:
+                # Cross-validate this item's method against the simulator;
+                # findings ride along as structured violation records.
+                from ..audit.checks import cross_validate
+
+                outcome = cross_validate(system, methods=(method,), horizon=horizon)
+                audited = True
+                violations = [v.to_dict() for v in outcome.violations]
         status = STATUS_OK
     except _ItemTimeout:
         status = STATUS_TIMEOUT
@@ -261,6 +285,8 @@ def _analyze_one(
         rounds=result.rounds if result is not None else 0,
         cache_hits=delta.hits if delta is not None else 0,
         cache_misses=delta.misses if delta is not None else 0,
+        audited=audited,
+        violations=violations,
     )
 
 
@@ -297,6 +323,10 @@ class BatchEngine:
         per engine) via :mod:`repro.curves.memo`.
     cache_size:
         LRU capacity of each per-process curve cache.
+    audit:
+        Cross-validate every successfully analyzed item against the
+        simulator (:func:`repro.audit.checks.cross_validate`); findings
+        land in :attr:`ItemResult.violations` and in the JSONL records.
     """
 
     def __init__(
@@ -306,6 +336,7 @@ class BatchEngine:
         timeout: Optional[float] = None,
         use_cache: bool = True,
         cache_size: int = memo.DEFAULT_CACHE_SIZE,
+        audit: bool = False,
     ) -> None:
         if chunksize is not None and chunksize <= 0:
             raise ValueError("chunksize must be positive")
@@ -314,6 +345,7 @@ class BatchEngine:
         self.timeout = timeout
         self.use_cache = use_cache
         self.cache_size = cache_size
+        self.audit = audit
         # Serial-mode cache persists across run() calls, mirroring the
         # per-worker persistent caches of the pool path.
         self._serial_cache: Optional[memo.CurveCache] = (
@@ -332,6 +364,7 @@ class BatchEngine:
                 item.system,
                 item.method,
                 item.horizon,
+                self.audit,
             )
             for i, item in enumerate(items)
         ]
@@ -418,7 +451,7 @@ class BatchEngine:
 
 
 def _crash_result(record: _Record, exc: Exception) -> ItemResult:
-    index, item_id, _system, method, _horizon = record
+    index, item_id, _system, method, _horizon, _audit = record
     return ItemResult(
         index=index,
         item_id=item_id,

@@ -30,6 +30,13 @@ Commands
 
         python -m repro batch items.jsonl --workers 4 --timeout 30
 
+``audit``
+    Randomized soundness audit: cross-validate every analysis against
+    the simulator on fuzzed, fault-injected systems; shrink and save any
+    counterexample::
+
+        python -m repro audit --systems 200 --seed 42
+
 ``methods``
     List the available analysis methods.
 
@@ -114,6 +121,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bat.add_argument(
         "--no-cache", action="store_true", help="disable curve-cache memoization"
+    )
+    p_bat.add_argument(
+        "--audit",
+        action="store_true",
+        help="cross-validate each analyzed item against the simulator; "
+        "violation records are added to the output lines",
+    )
+
+    p_aud = sub.add_parser(
+        "audit", help="randomized soundness audit (analysis vs simulation)"
+    )
+    p_aud.add_argument("--systems", type=int, default=50, help="systems to audit")
+    p_aud.add_argument("--seed", type=int, default=0)
+    p_aud.add_argument(
+        "--method",
+        action="append",
+        dest="methods",
+        choices=sorted(METHODS),
+        metavar="METHOD",
+        help="repeatable; default: every registered method",
+    )
+    p_aud.add_argument(
+        "--fault",
+        action="append",
+        dest="faults",
+        choices=["none", "jitter", "cluster", "perturb"],
+        metavar="FAULT",
+        help="repeatable fault cycle; default: none, jitter, cluster, perturb",
+    )
+    p_aud.add_argument(
+        "--corrupt",
+        default=None,
+        choices=sorted(METHODS),
+        metavar="METHOD",
+        help="self-test: corrupt this method's bounds and require the "
+        "audit to flag every run",
+    )
+    p_aud.add_argument(
+        "--corrupt-factor", type=float, default=0.5, dest="corrupt_factor"
+    )
+    p_aud.add_argument(
+        "--sim-cap", type=float, default=300.0, dest="sim_cap",
+        help="simulation window cap per system",
+    )
+    p_aud.add_argument("--max-jobs", type=int, default=4, dest="max_jobs")
+    p_aud.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip counterexample shrinking on violations",
+    )
+    p_aud.add_argument(
+        "--artifact-dir", default=None, dest="artifact_dir",
+        help="directory for shrunk counterexample JSON artifacts",
+    )
+    p_aud.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
     )
 
     p_rep = sub.add_parser("report", help="markdown analysis report")
@@ -246,11 +308,18 @@ def _cmd_batch(args) -> int:
         chunksize=args.chunksize,
         timeout=args.timeout,
         use_cache=not args.no_cache,
+        audit=args.audit,
     )
     report = engine.run(items)
     for record in report:
         print(json.dumps(record.to_dict(), allow_nan=False))
     print(report.summary(), file=sys.stderr)
+    if args.audit and report.n_violations:
+        print(
+            f"audit: {report.n_violations} soundness violation(s) found",
+            file=sys.stderr,
+        )
+        return 2
     return 0 if report.n_failed == 0 else 1
 
 
@@ -268,6 +337,39 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_audit(args) -> int:
+    from .audit import FAULTS, AuditConfig, run_audit
+
+    config = AuditConfig(
+        n_systems=args.systems,
+        seed=args.seed,
+        methods=tuple(args.methods) if args.methods else tuple(METHODS),
+        faults=tuple(args.faults) if args.faults else FAULTS,
+        corrupt=args.corrupt,
+        corrupt_factor=args.corrupt_factor,
+        sim_cap=args.sim_cap,
+        max_jobs=args.max_jobs,
+        shrink=not args.no_shrink,
+        artifact_dir=args.artifact_dir,
+    )
+    if args.json:
+        report = run_audit(config)
+        print(json.dumps(report.to_dict(), indent=2, allow_nan=False))
+    else:
+        def progress(audit) -> None:
+            if audit.outcome.violations:
+                print(
+                    f"system {audit.index} (seed {audit.seed}, "
+                    f"fault {audit.fault}): "
+                    f"{len(audit.outcome.violations)} violation(s)",
+                    file=sys.stderr,
+                )
+
+        report = run_audit(config, progress=progress)
+        print(report.summary())
+    return 0 if report.ok else 2
+
+
 def _cmd_methods(_args) -> int:
     for name in sorted(METHODS):
         print(f"  {name:14s} {METHODS[name].__doc__.strip().splitlines()[0]}")
@@ -282,6 +384,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "figures": _cmd_figures,
         "batch": _cmd_batch,
+        "audit": _cmd_audit,
         "report": _cmd_report,
         "methods": _cmd_methods,
     }

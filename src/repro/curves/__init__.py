@@ -7,7 +7,14 @@ time analysis (Theorems 3--9 of Li, Bettati & Zhao, ICPP 1998), and
 :func:`service_transform` kernel.
 """
 
-from .curve import EPS, Curve, CurveError
+from .curve import (
+    EPS,
+    Curve,
+    CurveError,
+    audit_checks,
+    audit_checks_enabled,
+    set_audit_checks,
+)
 from .memo import (
     CacheStats,
     CurveCache,
@@ -29,6 +36,9 @@ __all__ = [
     "EPS",
     "Curve",
     "CurveError",
+    "audit_checks",
+    "audit_checks_enabled",
+    "set_audit_checks",
     "sum_curves",
     "min_curves",
     "identity_minus",

@@ -31,16 +31,53 @@ right-continuous reading.  See DESIGN.md section 3.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence, Tuple, Union
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Curve", "CurveError", "EPS"]
+__all__ = [
+    "Curve",
+    "CurveError",
+    "EPS",
+    "audit_checks",
+    "audit_checks_enabled",
+    "set_audit_checks",
+]
 
 #: Absolute tolerance used when canonicalizing and comparing breakpoints.
 EPS = 1e-9
 
 ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+#: When true, every constructed curve is run through
+#: :meth:`Curve.check_invariants` before being handed to callers.  Off by
+#: default (it costs a few array passes per curve); the audit harness and
+#: the test suite switch it on.
+_AUDIT_CHECKS = False
+
+
+def audit_checks_enabled() -> bool:
+    """Whether post-construction invariant checking is active."""
+    return _AUDIT_CHECKS
+
+
+def set_audit_checks(enabled: bool) -> bool:
+    """Enable/disable invariant checking; returns the previous setting."""
+    global _AUDIT_CHECKS
+    previous = _AUDIT_CHECKS
+    _AUDIT_CHECKS = bool(enabled)
+    return previous
+
+
+@contextmanager
+def audit_checks(enabled: bool = True) -> Iterator[None]:
+    """Scope invariant checking to a ``with`` block."""
+    previous = set_audit_checks(enabled)
+    try:
+        yield
+    finally:
+        set_audit_checks(previous)
 
 
 class CurveError(ValueError):
@@ -115,6 +152,8 @@ class Curve:
         self._memo_token = None
         if canonicalize:
             self._canonicalize()
+        if _AUDIT_CHECKS:
+            self.check_invariants()
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -256,6 +295,49 @@ class Curve:
                 y = y[:-1]
         self.x = np.ascontiguousarray(x)
         self.y = np.ascontiguousarray(y)
+
+    def check_invariants(self) -> None:
+        """Verify the class invariants, raising :class:`CurveError` if broken.
+
+        Checked properties (the contract every operator in
+        :mod:`repro.curves.ops` relies on):
+
+        * ``x`` and ``y`` are equal-length, finite, 1-D arrays;
+        * ``x[0] == 0`` and both arrays are non-decreasing;
+        * no abscissa appears more than twice (jumps are encoded by exactly
+          one duplicated point);
+        * ``final_slope`` is finite and non-negative.
+
+        Constructor clamping normally guarantees all of these; this method
+        exists so the audit harness (and any caller mutating breakpoint
+        arrays directly) can verify curves at use sites, activated globally
+        via :func:`set_audit_checks` / :func:`audit_checks`.
+        """
+        x, y = self.x, self.y
+        if x.shape != y.shape or x.ndim != 1 or x.size == 0:
+            raise CurveError(
+                f"invariant: x/y must be equal-length non-empty 1-D arrays, "
+                f"got shapes {x.shape} and {y.shape}"
+            )
+        if not np.all(np.isfinite(x)) or not np.all(np.isfinite(y)):
+            raise CurveError("invariant: breakpoints must be finite")
+        if x[0] != 0.0:
+            raise CurveError(f"invariant: x[0] must be 0, got {x[0]}")
+        if x.size > 1:
+            if np.any(np.diff(x) < 0.0):
+                raise CurveError("invariant: x must be non-decreasing")
+            if np.any(np.diff(y) < 0.0):
+                raise CurveError("invariant: y must be non-decreasing")
+            if x.size > 2 and np.any((x[2:] == x[:-2])):
+                i = int(np.argmax(x[2:] == x[:-2]))
+                raise CurveError(
+                    f"invariant: abscissa {x[i]} appears more than twice"
+                )
+        if not math.isfinite(self.final_slope) or self.final_slope < 0.0:
+            raise CurveError(
+                f"invariant: final_slope must be finite and >= 0, "
+                f"got {self.final_slope}"
+            )
 
     @property
     def n_breakpoints(self) -> int:

@@ -218,19 +218,26 @@ def _identity_minus_impl(total: Curve, lateness: float, mode: str) -> Curve:
     jpos = pos[jump] + 1
     xs[jpos] = grid[jump]
     hs[jpos] = h_right[jump]
-    # Insert the first zero-upcrossing of h so max(0, h) is exact.
-    above = np.nonzero(hs > EPS)[0]
-    if above.size and above[0] > 0:
-        i = above[0]
-        x0, x1 = xs[i - 1], xs[i]
-        h0, h1 = hs[i - 1], hs[i]
-        if h1 - h0 > EPS and x1 - x0 > EPS:
-            t = x0 + (0.0 - h0) * (x1 - x0) / (h1 - h0)
-            if x0 + EPS < t < x1 - EPS:
-                xs = np.insert(xs, i, t)
-                hs = np.insert(hs, i, 0.0)
-    elif above.size == 0:
-        # h never reaches zero within the grid; it may in the tail.
+    # Insert *every* zero-upcrossing of h so max(0, h) is exact.  h can
+    # dip below zero repeatedly (each workload jump pushes it down); a
+    # clamped segment without its crossing breakpoint would interpolate
+    # as a chord from the clamp point straight to the next breakpoint,
+    # overestimating the availability there -- which, through
+    # ``last_below``, unsoundly *shrinks* the busy-window departure
+    # bounds built on this curve.
+    up = np.nonzero((hs[:-1] < -EPS) & (hs[1:] > EPS) & (np.diff(xs) > EPS))[0]
+    if up.size:
+        x0, x1 = xs[up], xs[up + 1]
+        h0, h1 = hs[up], hs[up + 1]
+        t = x0 - h0 * (x1 - x0) / (h1 - h0)
+        keep = (t > x0 + EPS) & (t < x1 - EPS)
+        xs = np.insert(xs, up[keep] + 1, t[keep])
+        hs = np.insert(hs, up[keep] + 1, 0.0)
+    if hs[-1] < -EPS:
+        # h ends below zero (the last workload jump pushed it under) and
+        # recovers only in the tail, at slope 1 - final_slope.  Without
+        # that crossing the clamped curve would start rising straight
+        # from the last breakpoint instead of from the true zero.
         fs_h = 1.0 - total.final_slope
         if fs_h > EPS:
             x_last = xs[-1]
@@ -249,13 +256,48 @@ def _identity_minus_impl(total: Curve, lateness: float, mode: str) -> Curve:
     # and then crash Curve's monotonicity check.  In exact mode such a
     # residual dip is float noise (real violations raised above), and the
     # running maximum matches the constructor's own noise clamp.
+    fs = max(0.0, 1.0 - total.final_slope)
     if bool(np.any(dips < -EPS)):
         if mode == "lower":  # suffix minimum: non-decreasing, never above y
             y = np.minimum.accumulate(y[::-1])[::-1]
-        else:  # upper (or exact-mode noise): running maximum
-            np.maximum.accumulate(y, out=y)
-    fs = max(0.0, 1.0 - total.final_slope)
+        else:  # upper (or exact-mode noise): exact running maximum
+            xs, y = _running_max_closure(xs, y, fs)
     return Curve(xs, y, fs)
+
+
+def _running_max_closure(
+    xs: np.ndarray, y: np.ndarray, fs: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact running maximum of the piecewise-linear function ``(xs, y)``.
+
+    Taking the cumulative maximum at breakpoints alone is not enough:
+    after a drop, interpolating straight to the next kept point draws a
+    rising chord that lies *above* ``max(previous peak, h)`` between the
+    two points.  As a leftover *service* curve that overshoot is unsound
+    (it grants service the processor never guaranteed).  The true closure
+    is flat at the previous peak until ``h`` catches up, so insert that
+    catch-up point on every recovering segment, then take the cumulative
+    maximum.
+    """
+    m = np.maximum.accumulate(y)
+    prev_m = m[:-1]
+    rise = y[1:] - y[:-1]
+    dx = xs[1:] - xs[:-1]
+    cross = (y[:-1] < prev_m - EPS) & (y[1:] > prev_m + EPS) & (dx > EPS)
+    if bool(np.any(cross)):
+        idx = np.nonzero(cross)[0]
+        t = xs[idx] + (prev_m[idx] - y[idx]) * dx[idx] / rise[idx]
+        xs = np.insert(xs, idx + 1, t)
+        m = np.insert(m, idx + 1, prev_m[idx])
+    # Same reasoning in the tail: when the raw h ends below the running
+    # maximum, the closure is flat until h catches up at slope ``fs``.
+    gap = float(m[-1] - y[-1])
+    if gap > EPS and fs > 0:
+        t_catch = float(xs[-1]) + gap / fs
+        if math.isfinite(t_catch):
+            xs = np.append(xs, t_catch)
+            m = np.append(m, m[-1])
+    return xs, m
 
 
 def _running_min_branch(

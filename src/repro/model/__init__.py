@@ -8,7 +8,13 @@ from .arrivals import (
     SporadicArrivals,
     TraceArrivals,
 )
-from .io import load_system, save_system, system_from_dict, system_to_dict
+from .io import (
+    SystemFormatError,
+    load_system,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
 from .job import Job, JobSet, SubJob
 from .priorities import (
     assign_priorities_by_key,
@@ -36,6 +42,7 @@ __all__ = [
     "assign_priorities_deadline_monotonic",
     "assign_priorities_rate_monotonic",
     "assign_priorities_explicit",
+    "SystemFormatError",
     "load_system",
     "save_system",
     "system_from_dict",

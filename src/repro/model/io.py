@@ -35,8 +35,9 @@ each route hop is ``[processor, wcet, priority]``), or ``none``.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Optional, Union
 
 from .arrivals import (
     ArrivalProcess,
@@ -54,7 +55,91 @@ from .priorities import (
 )
 from .system import System
 
-__all__ = ["system_to_dict", "system_from_dict", "load_system", "save_system"]
+__all__ = [
+    "SystemFormatError",
+    "system_to_dict",
+    "system_from_dict",
+    "load_system",
+    "save_system",
+]
+
+
+class SystemFormatError(ValueError):
+    """A system description is malformed.
+
+    Unlike the ad-hoc ``ValueError`` s the model classes raise one at a
+    time, this error is raised once per :func:`system_from_dict` call and
+    carries *every* problem found in the description.  Each entry of
+    :attr:`errors` is a dict with the keys
+
+    * ``job`` -- the offending job's id (or its list position as
+      ``"jobs[i]"`` when the id itself is missing), or ``None`` for
+      top-level problems;
+    * ``hop`` -- the 0-based route hop index, or ``None``;
+    * ``field`` -- the offending field name, or ``None``;
+    * ``message`` -- a human-readable description.
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` callers
+    keep working.
+    """
+
+    def __init__(self, errors: List[Dict[str, Any]]) -> None:
+        self.errors = list(errors)
+        n = len(self.errors)
+        lines = [_format_error(e) for e in self.errors]
+        super().__init__(
+            f"invalid system description ({n} error{'s' if n != 1 else ''}):\n  "
+            + "\n  ".join(lines)
+        )
+
+
+def _format_error(entry: Dict[str, Any]) -> str:
+    where = []
+    if entry.get("job") is not None:
+        where.append(f"job {entry['job']!r}")
+    if entry.get("hop") is not None:
+        where.append(f"hop {entry['hop']}")
+    if entry.get("field") is not None:
+        where.append(f"field {entry['field']!r}")
+    prefix = ", ".join(where)
+    return f"{prefix}: {entry['message']}" if prefix else str(entry["message"])
+
+
+def _number_problem(
+    value: Any, *, positive: bool = False, nonnegative: bool = False
+) -> Optional[str]:
+    """Describe what is wrong with a numeric field, or None if valid."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return f"expected a number, got {value!r}"
+    v = float(value)
+    if math.isnan(v):
+        return "must not be NaN"
+    if math.isinf(v):
+        return "must be finite"
+    if positive and v <= 0:
+        return f"must be positive, got {v:g}"
+    if nonnegative and v < 0:
+        return f"must be non-negative, got {v:g}"
+    return None
+
+
+#: Per arrival type: required then optional numeric fields with their
+#: constraints (class constructors enforce the remaining cross-field rules).
+_ARRIVAL_FIELDS: Dict[str, Dict[str, Dict[str, bool]]] = {
+    "periodic": {
+        "required": {"period": {"positive": True}},
+        "optional": {"offset": {"nonnegative": True}},
+    },
+    "bursty": {"required": {"x": {"positive": True}}, "optional": {}},
+    "sporadic": {
+        "required": {"min_gap": {"positive": True}},
+        "optional": {"offset": {"nonnegative": True}},
+    },
+    "leaky_bucket": {
+        "required": {"rho": {"positive": True}},
+        "optional": {"sigma": {"nonnegative": True}},
+    },
+}
 
 
 def _arrivals_to_dict(arrivals: ArrivalProcess) -> Dict[str, Any]:
@@ -120,57 +205,246 @@ def system_to_dict(system: System) -> Dict[str, Any]:
     }
 
 
+def _validate_arrivals(
+    job_ref: str, arr: Any, errors: List[Dict[str, Any]]
+) -> Optional[ArrivalProcess]:
+    """Check an arrivals sub-dict, collecting problems; None on failure."""
+
+    def err(field: Optional[str], message: str) -> None:
+        errors.append(
+            {"job": job_ref, "hop": None, "field": field, "message": message}
+        )
+
+    if not isinstance(arr, dict):
+        err("arrivals", f"expected an object, got {arr!r}")
+        return None
+    kind = arr.get("type")
+    if kind == "trace":
+        times = arr.get("times")
+        if not isinstance(times, (list, tuple)):
+            err("arrivals.times", f"expected a list of times, got {times!r}")
+            return None
+        bad = False
+        for i, t in enumerate(times):
+            problem = _number_problem(t, nonnegative=True)
+            if problem:
+                err(f"arrivals.times[{i}]", problem)
+                bad = True
+        if bad:
+            return None
+    elif kind in _ARRIVAL_FIELDS:
+        spec = _ARRIVAL_FIELDS[kind]
+        bad = False
+        for field, constraints in spec["required"].items():
+            if field not in arr:
+                err(f"arrivals.{field}", f"required by type {kind!r}")
+                bad = True
+                continue
+            problem = _number_problem(arr[field], **constraints)
+            if problem:
+                err(f"arrivals.{field}", problem)
+                bad = True
+        for field, constraints in spec["optional"].items():
+            if field in arr:
+                problem = _number_problem(arr[field], **constraints)
+                if problem:
+                    err(f"arrivals.{field}", problem)
+                    bad = True
+        if bad:
+            return None
+    else:
+        err("arrivals.type", f"unknown arrival type {kind!r}")
+        return None
+    try:
+        return _arrivals_from_dict(arr)
+    except ValueError as exc:
+        # Cross-field rules enforced by the arrival classes themselves
+        # (e.g. strictly increasing traces, sigma >= 1).
+        err("arrivals", str(exc))
+        return None
+
+
 def system_from_dict(data: Dict[str, Any]) -> System:
     """Build a system from its dictionary description and assign
-    priorities per ``priority_assignment`` (default Eq. 24)."""
-    jobs: List[Job] = []
+    priorities per ``priority_assignment`` (default Eq. 24).
+
+    Raises :class:`SystemFormatError` -- carrying *all* problems found,
+    each with job id / hop index / field context -- when the description
+    is malformed.
+    """
+    errors: List[Dict[str, Any]] = []
+
+    def err(
+        job: Optional[str], hop: Optional[int], field: Optional[str], message: str
+    ) -> None:
+        errors.append({"job": job, "hop": hop, "field": field, "message": message})
+
+    if not isinstance(data, dict):
+        raise SystemFormatError(
+            [
+                {
+                    "job": None,
+                    "hop": None,
+                    "field": None,
+                    "message": f"system description must be an object, "
+                    f"got {type(data).__name__}",
+                }
+            ]
+        )
     assignment = data.get("priority_assignment", "proportional_deadline")
-    for jd in data["jobs"]:
-        subjobs = []
-        for idx, hop in enumerate(jd["route"]):
+    known_assignments = (
+        "proportional_deadline",
+        "deadline_monotonic",
+        "rate_monotonic",
+        "explicit",
+        "none",
+    )
+    if assignment not in known_assignments:
+        err(
+            None,
+            None,
+            "priority_assignment",
+            f"unknown priority_assignment {assignment!r} "
+            f"(expected one of {', '.join(known_assignments)})",
+        )
+    jobs_data = data.get("jobs")
+    if not isinstance(jobs_data, list):
+        err(None, None, "jobs", f"expected a list of jobs, got {jobs_data!r}")
+        raise SystemFormatError(errors)
+
+    jobs: List[Job] = []
+    seen_ids: set = set()
+    for pos, jd in enumerate(jobs_data):
+        ref = f"jobs[{pos}]"
+        if not isinstance(jd, dict):
+            err(ref, None, None, f"expected a job object, got {jd!r}")
+            continue
+        job_id = jd.get("id")
+        if not isinstance(job_id, str) or not job_id:
+            err(ref, None, "id", f"expected a non-empty string, got {job_id!r}")
+            job_ref = ref
+            job_id = None
+        else:
+            job_ref = job_id
+            if job_id in seen_ids:
+                err(job_ref, None, "id", "duplicate job id")
+            seen_ids.add(job_id)
+        job_bad = False
+
+        deadline = jd.get("deadline")
+        problem = (
+            "required field is missing"
+            if "deadline" not in jd
+            else _number_problem(deadline, positive=True)
+        )
+        if problem:
+            err(job_ref, None, "deadline", problem)
+            job_bad = True
+
+        jitter = jd.get("release_jitter", 0.0)
+        problem = _number_problem(jitter, nonnegative=True)
+        if problem:
+            err(job_ref, None, "release_jitter", problem)
+            job_bad = True
+
+        arrivals = _validate_arrivals(job_ref, jd.get("arrivals"), errors)
+        if arrivals is None:
+            job_bad = True
+
+        route = jd.get("route")
+        if not isinstance(route, list) or not route:
+            err(job_ref, None, "route", f"expected a non-empty list, got {route!r}")
+            continue
+        subjobs: List[SubJob] = []
+        for idx, hop in enumerate(route):
             if isinstance(hop, dict):
-                proc = hop["processor"]
-                wcet = float(hop["wcet"])
-                prio = int(hop["priority"]) if "priority" in hop else None
-                masked = float(hop.get("nonpreemptive_section", 0.0))
-            else:
-                proc, wcet = hop[0], float(hop[1])
-                prio = int(hop[2]) if len(hop) > 2 else None
+                proc = hop.get("processor")
+                wcet = hop.get("wcet")
+                prio = hop.get("priority")
+                masked = hop.get("nonpreemptive_section", 0.0)
+                if proc is None:
+                    err(job_ref, idx, "processor", "required field is missing")
+                    job_bad = True
+                if "wcet" not in hop:
+                    err(job_ref, idx, "wcet", "required field is missing")
+                    job_bad = True
+                    continue
+            elif isinstance(hop, (list, tuple)) and len(hop) >= 2:
+                proc, wcet = hop[0], hop[1]
+                prio = hop[2] if len(hop) > 2 else None
                 masked = 0.0
-            subjobs.append(
-                SubJob(
-                    job_id=jd["id"],
-                    index=idx,
-                    processor=proc,
-                    wcet=wcet,
-                    priority=prio,
-                    nonpreemptive_section=masked,
+            else:
+                err(
+                    job_ref,
+                    idx,
+                    None,
+                    f"expected [processor, wcet(, priority)] or an object, "
+                    f"got {hop!r}",
+                )
+                job_bad = True
+                continue
+            problem = _number_problem(wcet, positive=True)
+            if problem:
+                err(job_ref, idx, "wcet", problem)
+                job_bad = True
+                continue
+            problem = _number_problem(masked, nonnegative=True)
+            if problem:
+                err(job_ref, idx, "nonpreemptive_section", problem)
+                job_bad = True
+                continue
+            if prio is not None and (isinstance(prio, bool) or not isinstance(prio, int)):
+                err(job_ref, idx, "priority", f"expected an integer, got {prio!r}")
+                job_bad = True
+                continue
+            try:
+                subjobs.append(
+                    SubJob(
+                        job_id=job_id or ref,
+                        index=len(subjobs),
+                        processor=proc,
+                        wcet=float(wcet),
+                        priority=prio,
+                        nonpreemptive_section=float(masked),
+                    )
+                )
+            except ValueError as exc:
+                err(job_ref, idx, None, str(exc))
+                job_bad = True
+        if job_bad or job_id is None or len(subjobs) != len(route):
+            continue
+        try:
+            jobs.append(
+                Job(
+                    job_id=job_id,
+                    subjobs=subjobs,
+                    arrivals=arrivals,
+                    deadline=float(deadline),
+                    release_jitter=float(jitter),
                 )
             )
-        jobs.append(
-            Job(
-                job_id=jd["id"],
-                subjobs=subjobs,
-                arrivals=_arrivals_from_dict(jd["arrivals"]),
-                deadline=float(jd["deadline"]),
-                release_jitter=float(jd.get("release_jitter", 0.0)),
-            )
+        except ValueError as exc:
+            err(job_ref, None, None, str(exc))
+
+    if errors:
+        raise SystemFormatError(errors)
+
+    try:
+        system = System(
+            JobSet(jobs),
+            policies=data.get("policies") or None,
+            default_policy=data.get("default_policy", "spp"),
         )
-    system = System(
-        JobSet(jobs),
-        policies=data.get("policies") or None,
-        default_policy=data.get("default_policy", "spp"),
-    )
+    except ValueError as exc:
+        raise SystemFormatError(
+            [{"job": None, "hop": None, "field": "policies", "message": str(exc)}]
+        ) from exc
     if assignment == "proportional_deadline":
         assign_priorities_proportional_deadline(system)
     elif assignment == "deadline_monotonic":
         assign_priorities_deadline_monotonic(system)
     elif assignment == "rate_monotonic":
         assign_priorities_rate_monotonic(system)
-    elif assignment in ("explicit", "none"):
-        pass
-    else:
-        raise ValueError(f"unknown priority_assignment {assignment!r}")
     return system
 
 

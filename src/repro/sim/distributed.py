@@ -31,6 +31,7 @@ def simulate(
     report_window: Optional[float] = None,
     max_events: int = 10_000_000,
     jitter_rng=None,
+    jitter_offsets: Optional[Dict[str, object]] = None,
 ) -> SimulationResult:
     """Run the system for all instances released in ``[0, horizon)``.
 
@@ -56,6 +57,12 @@ def simulate(
         offsets ``U(0, release_jitter)`` for jittered jobs.  Responses
         remain measured from the *nominal* release times (matching the
         analyses).  Without it, jittered jobs are released nominally.
+    jitter_offsets:
+        Explicit per-instance release offsets, mapping job id to a
+        sequence of offsets (one per instance, each clamped to
+        ``[0, release_jitter]``).  Used by the audit harness to place
+        releases adversarially at the envelope boundary.  Takes
+        precedence over ``jitter_rng`` for the jobs it names.
     """
     system.validate()
     if report_window is None:
@@ -97,7 +104,14 @@ def simulate(
         result.jobs[job.job_id] = trace
         first = job.subjobs[0]
         times = job.arrivals.release_times(horizon)
-        if job.release_jitter > 0 and jitter_rng is not None:
+        if jitter_offsets is not None and job.job_id in jitter_offsets:
+            given = list(jitter_offsets[job.job_id])
+            if len(given) < len(times):
+                given.extend([0.0] * (len(times) - len(given)))
+            offsets = [
+                min(max(float(o), 0.0), job.release_jitter) for o in given
+            ]
+        elif job.release_jitter > 0 and jitter_rng is not None:
             offsets = jitter_rng.uniform(0.0, job.release_jitter, size=len(times))
         else:
             offsets = [0.0] * len(times)

@@ -65,10 +65,17 @@ class EventQueue:
 class SimClock:
     """Shared simulation clock (monotonically advanced by the driver)."""
 
+    #: Relative tolerance for backward steps.  Event timestamps are sums of
+    #: floats, so two events meant to be simultaneous can differ by a few
+    #: ulps -- which at large ``now`` is far bigger than any absolute
+    #: epsilon.  The tolerance therefore scales with the clock value (with
+    #: an absolute floor for times near zero).
+    REL_TOL = 1e-9
+
     def __init__(self) -> None:
         self.now = 0.0
 
     def advance(self, t: float) -> None:
-        if t < self.now - 1e-12:
+        if t < self.now - max(1e-12, self.REL_TOL * abs(self.now)):
             raise RuntimeError(f"time going backwards: {t} < {self.now}")
         self.now = max(self.now, t)

@@ -96,9 +96,17 @@ def test_exact_monotone_in_wcet(jobs, scale):
         )
         for j in jobs
     ]
+    # Freeze the base priority assignment: re-running the proportional-
+    # deadline policy on the grown system would recompute the Eq. 24
+    # sub-deadlines from the inflated WCET, potentially reordering
+    # priorities -- and a priority swap can legitimately shrink the
+    # target's response.  Monotonicity holds per *fixed* priorities.
+    for old, new in zip(jobs, grown):
+        for s_old, s_new in zip(old.subjobs, new.subjobs):
+            s_new.priority = s_old.priority
     # Keep the system loadable.
     assume(JobSet(grown).max_utilization() < 0.95)
-    res = analyzed(grown, "spp", SppExactAnalysis(FAST))
+    res = SppExactAnalysis(FAST).analyze(System(JobSet(grown), "spp"))
     assume(res.drained)
     target = jobs[0].job_id
     assert res.jobs[target].wcrt >= base.jobs[target].wcrt - 1e-6

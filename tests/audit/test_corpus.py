@@ -1,0 +1,47 @@
+"""Regression corpus of shrunk counterexamples.
+
+Each JSON artifact under ``corpus/`` was produced by the audit's
+corruption self-test (a deliberately unsound analyzer) and shrunk to a
+minimal system.  The *honest* analyses must be sound on every one of
+them: the violation existed only because the bounds were corrupted.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.audit import cross_validate
+from repro.model import system_from_dict
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+ARTIFACTS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_populated():
+    assert len(ARTIFACTS) >= 3
+
+
+@pytest.mark.parametrize(
+    "path", ARTIFACTS, ids=[os.path.basename(p) for p in ARTIFACTS]
+)
+def test_corpus_artifact_loads_and_is_minimal(path):
+    with open(path) as fh:
+        artifact = json.load(fh)
+    assert artifact["schema"] == 1
+    assert artifact["violations"], "artifact must carry its violation records"
+    system = system_from_dict(artifact["system"])
+    assert len(list(system.jobs)) <= 3, "corpus systems are shrunk repros"
+
+
+@pytest.mark.parametrize(
+    "path", ARTIFACTS, ids=[os.path.basename(p) for p in ARTIFACTS]
+)
+def test_honest_analyses_sound_on_corpus(path):
+    with open(path) as fh:
+        artifact = json.load(fh)
+    system = system_from_dict(artifact["system"])
+    out = cross_validate(system, sim_cap=120.0)
+    assert out.ok, [v.to_dict() for v in out.violations]
+    assert not out.errors

@@ -1,0 +1,117 @@
+"""Fault injectors stay on the legal side of the declared envelopes."""
+
+import numpy as np
+import pytest
+
+from repro.audit import (
+    CorruptedAnalyzer,
+    clustered_trace,
+    inject_release_jitter,
+    legalize_trace,
+    make_audit_analyzer,
+    perturbed_trace,
+    rebuild_system,
+    verify_trace_in_envelope,
+)
+from repro.curves.envelope import envelope_of
+from repro.model import (
+    JobSet,
+    BurstyArrivals,
+    Job,
+    PeriodicArrivals,
+    System,
+    assign_priorities_proportional_deadline,
+)
+
+
+def _system():
+    jobs = [
+        Job.build(
+            "A", [("P1", 1.0), ("P2", 0.5)], PeriodicArrivals(4.0), deadline=8.0
+        ),
+        Job.build(
+            "B", [("P1", 0.6), ("P2", 0.8)], BurstyArrivals(0.4), deadline=10.0
+        ),
+    ]
+    assign_priorities_proportional_deadline(JobSet(jobs))
+    return System(jobs, policies="spp")
+
+
+def test_legalize_periodic_recovers_nominal_spacing():
+    arr = PeriodicArrivals(5.0)
+    env = envelope_of(arr, horizon=200.0)
+    times = legalize_trace([0.0] * 6, env)
+    # The envelope admits one release per period; clustering at zero must
+    # spread back out to (at least) the period.
+    gaps = np.diff(times)
+    assert np.all(gaps >= 5.0 - 1e-6)
+    assert verify_trace_in_envelope(times, env) is None
+
+
+def test_clustered_trace_is_legal_and_preserves_count():
+    system = _system()
+    for job in system.jobs:
+        trace = clustered_trace(job, 60.0)
+        env = envelope_of(job.arrivals, horizon=200.0)
+        assert verify_trace_in_envelope(trace.times, env) is None
+        assert len(trace.times) == len(job.arrivals.release_times(60.0))
+
+
+def test_clustered_bursty_front_loads_releases():
+    job = Job.build("B", [("P1", 1.0)], BurstyArrivals(0.4), deadline=10.0)
+    nominal = job.arrivals.release_times(60.0)
+    clustered = np.asarray(clustered_trace(job, 60.0).times)
+    # Clustering never releases later than nominal (both are envelope-legal
+    # and the greedy pass packs against the boundary from time zero).
+    assert np.all(clustered <= nominal + 1e-9)
+
+
+def test_perturbed_trace_is_legal():
+    system = _system()
+    rng = np.random.default_rng(3)
+    for job in system.jobs:
+        trace = perturbed_trace(job, 60.0, rng)
+        env = envelope_of(job.arrivals, horizon=200.0)
+        assert verify_trace_in_envelope(trace.times, env) is None
+
+
+def test_inject_release_jitter_bounds_offsets():
+    system = _system()
+    jittered, offsets = inject_release_jitter(system, np.random.default_rng(0))
+    for job in jittered.jobs:
+        assert job.release_jitter > 0
+        offs = offsets[job.job_id]
+        assert all(0.0 <= o <= job.release_jitter + 1e-12 for o in offs)
+    # Priorities carried over unchanged.
+    for old, new in zip(system.jobs, jittered.jobs):
+        for s_old, s_new in zip(old.subjobs, new.subjobs):
+            assert s_old.priority == s_new.priority
+
+
+def test_rebuild_system_preserves_policies():
+    system = System(
+        [
+            Job.build("A", [("P1", 1.0)], PeriodicArrivals(4.0), deadline=8.0),
+            Job.build("B", [("P2", 1.0)], PeriodicArrivals(5.0), deadline=9.0),
+        ],
+        policies={"P1": "fcfs", "P2": "spnp"},
+    )
+    rebuilt = rebuild_system(system, list(system.jobs))
+    assert rebuilt.policy("P1").value == "fcfs"
+    assert rebuilt.policy("P2").value == "spnp"
+
+
+def test_corrupted_analyzer_scales_bounds():
+    system = _system()
+    inner = make_audit_analyzer("SPP/App")
+    honest = make_audit_analyzer("SPP/App").analyze(system)
+    corrupted = CorruptedAnalyzer(inner, factor=0.5).analyze(system)
+    for job_id, er in honest.jobs.items():
+        assert corrupted.jobs[job_id].wcrt == pytest.approx(er.wcrt * 0.5)
+    assert CorruptedAnalyzer(inner).name.endswith("!corrupted")
+
+
+def test_corrupted_analyzer_rejects_bad_factor():
+    inner = make_audit_analyzer("SPP/App")
+    with pytest.raises(ValueError):
+        CorruptedAnalyzer(inner, factor=1.5)

@@ -1,0 +1,72 @@
+"""Audit campaigns: clean runs pass, corruption mode is always flagged."""
+
+import json
+
+import pytest
+
+from repro.audit import AuditConfig, FAULTS, audit_one, run_audit
+
+
+def test_config_validates_inputs():
+    with pytest.raises(ValueError):
+        AuditConfig(n_systems=0)
+    with pytest.raises(ValueError):
+        AuditConfig(faults=("nonsense",))
+    with pytest.raises(ValueError):
+        AuditConfig(methods=("SPP/App",), corrupt="SPP/Exact")
+
+
+def test_clean_campaign_passes_all_faults():
+    cfg = AuditConfig(n_systems=4, seed=11, max_jobs=3, sim_cap=80.0)
+    report = run_audit(cfg)
+    assert report.ok, report.summary()
+    assert report.n_checks > 0
+    assert [s.fault for s in report.systems] == list(FAULTS)
+    assert "PASS" in report.summary()
+
+
+def test_campaign_is_deterministic():
+    cfg = AuditConfig(n_systems=2, seed=3, max_jobs=3, sim_cap=60.0)
+    a = run_audit(cfg).to_dict()
+    b = run_audit(cfg).to_dict()
+    assert a == b
+
+
+def test_corruption_mode_is_flagged_and_shrunk(tmp_path):
+    cfg = AuditConfig(
+        n_systems=2,
+        seed=42,
+        corrupt="SPP/Exact",
+        sim_cap=80.0,
+        artifact_dir=str(tmp_path),
+    )
+    report = run_audit(cfg)
+    assert not report.ok
+    for audit in report.systems:
+        assert audit.fault == "none"  # corruption pins the fault cycle
+        assert audit.outcome.violations, "corrupted bound not flagged"
+        assert audit.shrunk is not None
+        assert len(audit.shrunk["system"]["jobs"]) <= 3
+        assert audit.artifact_path is not None
+        with open(audit.artifact_path) as fh:
+            loaded = json.load(fh)
+        assert loaded["system"] == audit.shrunk["system"]
+        assert loaded["violations"]
+    assert "FAIL" in report.summary()
+
+
+def test_report_dict_is_json_serializable():
+    cfg = AuditConfig(n_systems=1, seed=5, max_jobs=2, sim_cap=60.0)
+    report = run_audit(cfg)
+    data = json.loads(json.dumps(report.to_dict(), allow_nan=False))
+    assert data["n_systems"] == 1
+    assert data["ok"] is True
+    assert data["systems"][0]["fault"] == "none"
+
+
+def test_audit_one_reproducible_from_seed():
+    cfg = AuditConfig(n_systems=10, seed=7, max_jobs=3, sim_cap=60.0)
+    first = audit_one(cfg, 2)
+    again = audit_one(cfg, 2)
+    assert first.seed == again.seed == 9
+    assert first.outcome.to_dict() == again.outcome.to_dict()

@@ -1,0 +1,108 @@
+"""Counterexample shrinker: minimizes, respects budget, never invents bugs."""
+
+import json
+
+from repro.audit import (
+    make_artifact,
+    save_artifact,
+    shrink_counterexample,
+)
+from repro.model import (
+    JobSet,
+    Job,
+    PeriodicArrivals,
+    System,
+    assign_priorities_proportional_deadline,
+    system_from_dict,
+    system_to_dict,
+)
+
+
+def _system_dict(n_jobs=3, n_hops=3):
+    jobs = [
+        Job.build(
+            f"T{i + 1}",
+            [(f"P{j + 1}", 0.513 + 0.1 * i) for j in range(n_hops)],
+            PeriodicArrivals(4.0 + i),
+            deadline=20.0 + i,
+        )
+        for i in range(n_jobs)
+    ]
+    assign_priorities_proportional_deadline(JobSet(jobs))
+    return system_to_dict(System(jobs, policies="spp"))
+
+
+def test_shrink_drops_irrelevant_jobs_and_hops():
+    data = _system_dict(n_jobs=4, n_hops=3)
+
+    def still_fails(candidate):
+        # The "bug" only needs T2's first hop.
+        return any(
+            job["id"] == "T2" and len(job["route"]) >= 1
+            for job in candidate["jobs"]
+        )
+
+    shrunk = shrink_counterexample(data, still_fails)
+    assert len(shrunk["jobs"]) == 1
+    assert shrunk["jobs"][0]["id"] == "T2"
+    assert len(shrunk["jobs"][0]["route"]) == 1
+    # The shrunk dict still loads.
+    system_from_dict(shrunk)
+
+
+def test_shrink_rounds_parameters():
+    data = _system_dict(n_jobs=1, n_hops=1)
+
+    def still_fails(candidate):
+        return True  # any well-formed system "fails"
+
+    shrunk = shrink_counterexample(data, still_fails)
+    wcet = shrunk["jobs"][0]["route"][0][1]
+    assert wcet == round(wcet, 1)  # 0.513... rounded away
+
+
+def test_shrink_keeps_input_when_nothing_reproduces():
+    data = _system_dict(n_jobs=2)
+    shrunk = shrink_counterexample(data, lambda candidate: False)
+    assert shrunk == data
+
+
+def test_shrink_respects_eval_budget():
+    data = _system_dict(n_jobs=4)
+    calls = []
+
+    def still_fails(candidate):
+        calls.append(1)
+        return True
+
+    shrink_counterexample(data, still_fails, max_evals=5)
+    assert len(calls) <= 5
+
+
+def test_shrink_rejects_candidates_that_raise():
+    data = _system_dict(n_jobs=2)
+
+    def still_fails(candidate):
+        if len(candidate["jobs"]) < 2:
+            raise RuntimeError("predicate crashed")
+        return True
+
+    shrunk = shrink_counterexample(data, still_fails)
+    assert len(shrunk["jobs"]) == 2  # crash treated as not-a-repro
+
+
+def test_artifact_round_trip(tmp_path):
+    data = _system_dict(n_jobs=1)
+    artifact = make_artifact(
+        data,
+        [{"kind": "response_bound", "method": "SPP/Exact"}],
+        method="SPP/Exact",
+        fault="corrupt:SPP/Exact",
+        seed=42,
+    )
+    path = save_artifact(artifact, str(tmp_path), "ce-test")
+    with open(path) as fh:
+        loaded = json.load(fh)
+    assert loaded == artifact
+    assert loaded["schema"] == 1
+    system_from_dict(loaded["system"])

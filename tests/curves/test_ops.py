@@ -142,6 +142,54 @@ class TestIdentityMinus:
         vals = np.atleast_1d(b.value(np.linspace(0, 4, 33)))
         assert np.all(np.diff(vals) >= -1e-9)
 
+    def test_upper_mode_running_max_is_exact_after_a_drop(self):
+        # Workload jumps at t=0 (0.5) and t=2 (1.0): h = t - total rises
+        # to 1.5 at t=2-, drops to 0.5, catches back up at t=3.  The
+        # closure must be *flat* at 1.5 on [2, 3] -- a chord from (2, 1.5)
+        # to the next breakpoint would overstate the curve there, which
+        # as a leftover service curve is unsound (found by `repro audit`:
+        # it let Stationary/NC under-bound a simulated response).
+        total = Curve([0.0, 0.0, 2.0, 2.0], [0.0, 0.5, 0.5, 1.5], final_slope=0.0)
+        b = identity_minus(total, mode="upper")
+        assert b.value(2.0) == pytest.approx(1.5)  # pre-drop peak kept
+        assert b.value(2.5) == pytest.approx(1.5)  # flat, NOT a chord
+        assert b.value(3.0) == pytest.approx(1.5)  # catch-up point
+        assert b.value(3.5) == pytest.approx(2.0)  # tracking h again
+        # Never above the true running maximum on a dense grid.
+        grid = np.linspace(0.0, 6.0, 1201)
+        # Running sup of h: at a downward jump of h the sup is attained
+        # from the left, so sample both one-sided limits of `total`.
+        lo = np.minimum(
+            np.atleast_1d(total.value(grid)), np.atleast_1d(total.value_left(grid))
+        )
+        run_max = np.maximum.accumulate(np.maximum(0.0, grid - lo))
+        vals = np.atleast_1d(b.value(grid))
+        assert np.all(vals <= run_max + 1e-6)
+
+    def test_every_zero_upcrossing_gets_a_breakpoint(self):
+        # Two separate clamped regions: arrivals at t=0 and t=2 each push
+        # h below zero.  The clamp max(0, h) must be exact on *both*
+        # recoveries -- inserting only the first crossing leaves the
+        # second segment interpolating as a chord above the true curve,
+        # which unsoundly shrinks busy-window bounds built via
+        # `last_below` (found by `repro audit` on SPP/App hop bounds).
+        total = Curve([0.0, 0.0, 2.0, 2.0], [0.0, 1.0, 1.0, 2.5], final_slope=0.0)
+        lo = identity_minus(total, mode="lower")
+        # First clamp: h < 0 until t=1; second clamp: h(2) = -0.5 < 0
+        # until t=2.5.  The suffix-min closure flattens everything before
+        # the last recovery, then tracks t - 2.5 exactly.
+        assert lo.value(0.5) == pytest.approx(0.0)
+        assert lo.value(2.25) == pytest.approx(0.0)
+        assert lo.value(3.0) == pytest.approx(0.5)
+        assert lo.value(4.5) == pytest.approx(2.0)
+        # Running max: the t=2- peak of 1.0 holds flat until h catches
+        # up at t=3.5 -- not a chord rising off the clamp point.
+        up = identity_minus(total, mode="upper")
+        assert up.value(2.5) == pytest.approx(1.0)
+        assert up.value(3.0) == pytest.approx(1.0)
+        assert up.value(3.5) == pytest.approx(1.0)
+        assert up.value(4.0) == pytest.approx(1.5)
+
     def test_invalid_mode(self):
         with pytest.raises(CurveError):
             identity_minus(Curve.zero(), mode="sideways")

@@ -13,6 +13,7 @@ from repro.model import (
     SchedulingPolicy,
     SporadicArrivals,
     System,
+    SystemFormatError,
     TraceArrivals,
     assign_priorities_proportional_deadline,
     load_system,
@@ -111,6 +112,135 @@ class TestFromDict:
         data = dict(EXAMPLE, priority_assignment="rate_monotonic")
         system = system_from_dict(data)
         system.validate()
+
+
+class TestFormatErrors:
+    """system_from_dict collects *every* problem with full context."""
+
+    def _errors(self, data):
+        with pytest.raises(SystemFormatError) as exc_info:
+            system_from_dict(data)
+        return exc_info.value.errors
+
+    def test_all_errors_collected_in_one_raise(self):
+        data = {
+            "jobs": [
+                {
+                    "id": "a",
+                    "deadline": -1.0,  # error 1
+                    "arrivals": {"type": "periodic", "period": 0.0},  # error 2
+                    "route": [["P1", float("nan")]],  # error 3
+                },
+                {
+                    "id": "a",  # error 4: duplicate id
+                    "deadline": 5.0,
+                    "arrivals": {"type": "periodic", "period": 2.0},
+                    "route": [["P1", 1.0]],
+                },
+            ]
+        }
+        errors = self._errors(data)
+        assert len(errors) == 4
+        fields = {(e["job"], e["field"]) for e in errors}
+        assert ("a", "deadline") in fields
+        assert ("a", "arrivals.period") in fields
+        assert ("a", "wcet") in fields
+        assert ("a", "id") in fields
+
+    def test_hop_context_on_route_errors(self):
+        data = {
+            "jobs": [
+                {
+                    "id": "a",
+                    "deadline": 5.0,
+                    "arrivals": {"type": "periodic", "period": 2.0},
+                    "route": [["P1", 1.0], ["P2", float("inf")]],
+                }
+            ]
+        }
+        (error,) = self._errors(data)
+        assert error["job"] == "a"
+        assert error["hop"] == 1
+        assert error["field"] == "wcet"
+        assert "finite" in error["message"]
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -3.0, 0.0, "x"])
+    def test_rejects_nonfinite_and_nonpositive_periods(self, bad):
+        data = {
+            "jobs": [
+                {
+                    "id": "a",
+                    "deadline": 5.0,
+                    "arrivals": {"type": "periodic", "period": bad},
+                    "route": [["P1", 1.0]],
+                }
+            ]
+        }
+        (error,) = self._errors(data)
+        assert error["field"] == "arrivals.period"
+
+    def test_rejects_nan_trace_times_with_index(self):
+        data = {
+            "jobs": [
+                {
+                    "id": "a",
+                    "deadline": 5.0,
+                    "arrivals": {"type": "trace", "times": [0.0, float("nan")]},
+                    "route": [["P1", 1.0]],
+                }
+            ]
+        }
+        (error,) = self._errors(data)
+        assert error["field"] == "arrivals.times[1]"
+
+    def test_missing_fields_are_reported_per_job(self):
+        data = {
+            "jobs": [
+                {"id": "a", "route": [["P1", 1.0]]},  # no deadline, no arrivals
+            ]
+        }
+        errors = self._errors(data)
+        assert {e["field"] for e in errors} == {"deadline", "arrivals"}
+        assert all(e["job"] == "a" for e in errors)
+
+    def test_negative_release_jitter_rejected(self):
+        data = {
+            "jobs": [
+                {
+                    "id": "a",
+                    "deadline": 5.0,
+                    "release_jitter": -0.5,
+                    "arrivals": {"type": "periodic", "period": 2.0},
+                    "route": [["P1", 1.0]],
+                }
+            ]
+        }
+        (error,) = self._errors(data)
+        assert error["field"] == "release_jitter"
+
+    def test_top_level_shape_errors(self):
+        assert self._errors([])[0]["message"].startswith("system description")
+        assert self._errors({"jobs": "nope"})[0]["field"] == "jobs"
+
+    def test_message_carries_context(self):
+        data = {
+            "jobs": [
+                {
+                    "id": "a",
+                    "deadline": 5.0,
+                    "arrivals": {"type": "periodic", "period": 2.0},
+                    "route": [["P1", -1.0]],
+                }
+            ]
+        }
+        with pytest.raises(SystemFormatError) as exc_info:
+            system_from_dict(data)
+        message = str(exc_info.value)
+        assert "job 'a'" in message and "hop 0" in message and "wcet" in message
+
+    def test_is_a_value_error(self):
+        # Existing `except ValueError` callers keep working.
+        assert issubclass(SystemFormatError, ValueError)
 
 
 class TestRoundTrip:

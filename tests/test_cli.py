@@ -170,6 +170,45 @@ class TestBatchCommand:
         assert all(r["cache_hits"] == 0 and r["cache_misses"] == 0 for r in records)
 
 
+class TestAuditCommand:
+    def test_clean_campaign_passes(self, capsys):
+        assert main([
+            "audit", "--systems", "2", "--seed", "42",
+            "--method", "SPP/App", "--fault", "none",
+            "--sim-cap", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_corruption_is_flagged_and_shrunk(self, tmp_path, capsys):
+        assert main([
+            "audit", "--systems", "1", "--seed", "42",
+            "--corrupt", "SPP/Exact", "--sim-cap", "60",
+            "--artifact-dir", str(tmp_path),
+        ]) == 2
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        artifacts = list(tmp_path.glob("*.json"))
+        assert artifacts
+        payload = json.loads(artifacts[0].read_text())
+        assert payload["violations"]
+        assert len(payload["system"]["jobs"]) <= 3
+
+    def test_json_report(self, capsys):
+        assert main([
+            "audit", "--systems", "1", "--seed", "42",
+            "--method", "SPP/App", "--fault", "none",
+            "--sim-cap", "40", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_violations"] == 0
+        assert payload["systems"][0]["fault"] == "none"
+
+    def test_rejects_unknown_fault(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "--fault", "gremlin"])
+
+
 class TestReportCommand:
     def test_report(self, system_file, capsys):
         assert main(["report", system_file, "--method", "SPP/Exact",
