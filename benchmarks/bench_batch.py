@@ -11,12 +11,18 @@ Two scenarios, both checked for result equality with the plain loop:
   conditions change).  Here the curve cache short-circuits the min-plus
   kernel and carries the speedup even on a single core.
 
+A third scenario, ``obs-overhead``, guards the observability layer's
+no-op promise: the fully instrumented engine (tracing + metrics enabled
+in the parent) must stay within 5% of the disabled run, measured as the
+min over several repeats to damp scheduler noise.
+
 Metrics (wall times, speedup, cache hit rates) are written to
 ``benchmarks/results/batch_engine.txt``.  Also runnable standalone:
-``PYTHONPATH=src python benchmarks/bench_batch.py``.
+``PYTHONPATH=src python benchmarks/bench_batch.py [--obs-overhead]``.
 """
 
 import os
+import sys
 import time
 
 import numpy as np
@@ -25,6 +31,8 @@ from repro.analysis import make_analyzer
 from repro.batch import BatchEngine, BatchItem
 from repro.curves import disable_curve_cache
 from repro.experiments.admission import system_for_method
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.workloads import ShopTopology, generate_periodic_jobset
 
 from conftest import write_result
@@ -88,6 +96,49 @@ def _compare(name: str, items, engine: BatchEngine) -> float:
     return speedup
 
 
+def _min_time(fn, repeats: int) -> float:
+    """Best-of-N wall time: the floor is the signal, the rest is noise."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _obs_overhead(items, repeats: int = 5, budget: float = 1.05) -> float:
+    """Instrumented-vs-disabled engine wall time; returns the ratio."""
+    engine_off = BatchEngine(use_cache=True)
+    engine_on = BatchEngine(use_cache=True)
+    # Warm both serial caches so the timed runs compare steady states.
+    baseline = [r.schedulable for r in engine_off.run(items)]
+    engine_on.run(items)
+
+    t_off = _min_time(lambda: engine_off.run(items), repeats)
+    obs_trace.enable_tracing()
+    obs_metrics.enable_metrics()
+    try:
+        t_on = _min_time(lambda: engine_on.run(items), repeats)
+        instrumented = [r.schedulable for r in engine_on.run(items)]
+    finally:
+        obs_trace.disable_tracing()
+        obs_metrics.disable_metrics()
+
+    assert instrumented == baseline, "observability must not change verdicts"
+    ratio = t_on / t_off if t_off else float("inf")
+    _lines.append(
+        f"obs-overhead: disabled {t_off:.3f}s, instrumented {t_on:.3f}s "
+        f"-> ratio {ratio:.3f} (min of {repeats}, budget {budget:.2f})"
+    )
+    print(_lines[-1])
+    write_result("batch_engine.txt", "\n".join(_lines) + "\n")
+    assert ratio < budget, (
+        f"observability overhead {100 * (ratio - 1):.1f}% exceeds "
+        f"{100 * (budget - 1):.0f}% budget"
+    )
+    return ratio
+
+
 def test_batch_sweep_speedup(benchmark):
     items = _make_items(n_sets=8, seed=2024)
     engine = BatchEngine(n_workers=4, use_cache=True)
@@ -109,11 +160,23 @@ def test_batch_revalidation_speedup(benchmark):
     assert speedup >= 1.5
 
 
+def test_obs_overhead_within_budget(benchmark):
+    items = _make_items(n_sets=4, seed=2026)
+    ratio = benchmark.pedantic(
+        _obs_overhead, args=(items,), rounds=1, iterations=1
+    )
+    assert ratio < 1.05
+
+
 def main() -> None:
+    if "--obs-overhead" in sys.argv:
+        _obs_overhead(_make_items(n_sets=4, seed=2026))
+        return
     items = _make_items(n_sets=8, seed=2024)
     _compare("sweep", items, BatchEngine(n_workers=4, use_cache=True))
     items = _make_items(n_sets=6, seed=2025, passes=4)
     _compare("revalidation", items, BatchEngine(n_workers=1, use_cache=True))
+    _obs_overhead(_make_items(n_sets=4, seed=2026))
 
 
 if __name__ == "__main__":

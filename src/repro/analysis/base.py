@@ -143,6 +143,15 @@ class AnalysisResult:
     #: bails, oscillation detection, ...).  Each entry is a JSON-safe dict
     #: with at least a ``"kind"`` key.  Empty on clean runs.
     diagnostics: List[Dict[str, Any]] = field(default_factory=list)
+    #: Curve-cache counters attributable to this analysis (a
+    #: :meth:`repro.curves.memo.CacheStats.to_dict` delta), set by callers
+    #: that run the analysis under an active cache (the batch engine, the
+    #: ``trace`` CLI).  ``None`` when no cache was active.
+    cache_stats: Optional[Dict[str, Any]] = None
+    #: Optional embedded observability block (``{"trace": [...],
+    #: "metrics": {...}}``), attached by callers that request it (e.g.
+    #: ``repro trace --embed``).  ``None`` keeps payloads unchanged.
+    observability: Optional[Dict[str, Any]] = None
 
     @property
     def schedulable(self) -> bool:
@@ -179,7 +188,10 @@ class AnalysisResult:
         the infinite horizon of horizon-free methods) are mapped to
         ``None`` so the payload is strict JSON.  The optional
         ``diagnostics`` key is present only when the analysis emitted
-        structured warnings, so clean payloads are unchanged.
+        structured warnings, so clean payloads are unchanged.  Likewise
+        the ``cache`` key (curve-cache counters) appears only when the
+        analysis ran under an active curve cache, and ``observability``
+        (embedded trace/metrics blocks) only when a caller attached one.
         """
         payload: Dict[str, Any] = {
             "schema": RESULT_SCHEMA_VERSION,
@@ -202,6 +214,10 @@ class AnalysisResult:
         }
         if self.diagnostics:
             payload["diagnostics"] = list(self.diagnostics)
+        if self.cache_stats is not None:
+            payload["cache"] = dict(self.cache_stats)
+        if self.observability is not None:
+            payload["observability"] = self.observability
         return payload
 
     def to_json(self, indent: Optional[int] = None) -> str:

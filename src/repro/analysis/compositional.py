@@ -37,6 +37,7 @@ import numpy as np
 from ..curves import Curve, fcfs_utilization, sum_curves
 from ..model.job import SubJob
 from ..model.system import SchedulingPolicy, System
+from ..obs.trace import trace_span
 from .base import (
     AnalysisResult,
     EndToEndResult,
@@ -157,7 +158,16 @@ class CompositionalAnalysis:
         def analyze_once(h: float, report: float) -> Tuple[AnalysisResult, bool]:
             return self._analyze_horizon(system, order, h, report)
 
-        return run_adaptive(analyze_once, system.job_set, self.horizon)
+        with trace_span(
+            "analyze", method=self.method, n_jobs=len(list(system.jobs))
+        ) as span:
+            result = run_adaptive(analyze_once, system.job_set, self.horizon)
+            span.set_attrs(
+                rounds=result.rounds,
+                horizon=result.horizon,
+                schedulable=result.schedulable,
+            )
+            return result
 
     # ------------------------------------------------------------------
 
@@ -202,51 +212,67 @@ class CompositionalAnalysis:
         for sub in order:
             key = sub.key
             job_id, idx = key
-            env_early, env_late = envelopes_of(sub)
-            ce, cl = curves_of(sub)
             policy = self._policy(system, sub.processor)
-            peers = job_set.subjobs_on(sub.processor)
+            with trace_span(
+                "hop",
+                job=job_id,
+                hop=idx,
+                processor=str(sub.processor),
+                policy=policy.value,
+            ) as span:
+                env_early, env_late = envelopes_of(sub)
+                ce, cl = curves_of(sub)
+                peers = job_set.subjobs_on(sub.processor)
 
-            if policy == SchedulingPolicy.FCFS:
-                if sub.processor not in u_lo_cache:
-                    u_lo_cache[sub.processor] = fcfs_utilization(
-                        sum_curves([curves_of(s)[1] for s in peers]), t_end=h
+                if policy == SchedulingPolicy.FCFS:
+                    if sub.processor not in u_lo_cache:
+                        u_lo_cache[sub.processor] = fcfs_utilization(
+                            sum_curves([curves_of(s)[1] for s in peers]),
+                            t_end=h,
+                        )
+                    others = [curves_of(s)[0] for s in peers if s.key != key]
+                    dep_ub = fcfs_departure_bound(
+                        others, u_lo_cache[sub.processor], env_late, sub.wcet
                     )
-                others = [curves_of(s)[0] for s in peers if s.key != key]
-                dep_ub = fcfs_departure_bound(
-                    others, u_lo_cache[sub.processor], env_late, sub.wcet
-                )
-            else:
-                higher = [
-                    s for s in peers if s.key != key and s.priority < sub.priority
-                ]
-                lag = blocking_time(system, sub, policy)
-                dep_ub = priority_departure_bound(
-                    [curves_of(s)[0] for s in higher],
-                    [curves_of(s)[1] for s in higher],
-                    cl,
-                    env_late,
-                    sub.wcet,
-                    lag,
-                    h,
-                )
+                else:
+                    higher = [
+                        s
+                        for s in peers
+                        if s.key != key and s.priority < sub.priority
+                    ]
+                    lag = blocking_time(system, sub, policy)
+                    dep_ub = priority_departure_bound(
+                        [curves_of(s)[0] for s in higher],
+                        [curves_of(s)[1] for s in higher],
+                        cl,
+                        env_late,
+                        sub.wcet,
+                        lag,
+                        h,
+                    )
 
-            n = env_early.size
-            m_report = min(n, n_analyzed[job_id])
-            if n:
-                dep_ub = dep_ub.copy()
-                dep_ub[dep_ub > h] = math.inf
-                gaps = dep_ub[:m_report] - env_early[:m_report]
-                local_delay[key] = float(np.max(gaps)) if gaps.size else 0.0
-                hop_ok[key] = bool(np.all(np.isfinite(dep_ub[:m_report])))
-                arr_next = earliest_departures(ce, env_early, sub.wcet, h)
-            else:
-                arr_next = np.empty(0)
-                local_delay[key] = 0.0
-                hop_ok[key] = True
-            if idx + 1 < job_set[job_id].n_subjobs:
-                early[(job_id, idx + 1)] = arr_next
-                late[(job_id, idx + 1)] = dep_ub
+                n = env_early.size
+                m_report = min(n, n_analyzed[job_id])
+                if n:
+                    dep_ub = dep_ub.copy()
+                    dep_ub[dep_ub > h] = math.inf
+                    gaps = dep_ub[:m_report] - env_early[:m_report]
+                    local_delay[key] = float(np.max(gaps)) if gaps.size else 0.0
+                    hop_ok[key] = bool(np.all(np.isfinite(dep_ub[:m_report])))
+                    arr_next = earliest_departures(ce, env_early, sub.wcet, h)
+                else:
+                    arr_next = np.empty(0)
+                    local_delay[key] = 0.0
+                    hop_ok[key] = True
+                if idx + 1 < job_set[job_id].n_subjobs:
+                    early[(job_id, idx + 1)] = arr_next
+                    late[(job_id, idx + 1)] = dep_ub
+                span.set_attrs(
+                    n_instances=int(n),
+                    analyzed_instances=int(m_report),
+                    local_delay=local_delay[key],
+                    bounded=hop_ok[key],
+                )
 
         result = AnalysisResult(
             method=self.method, horizon=h, drained=False, converged=False

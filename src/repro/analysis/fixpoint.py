@@ -33,6 +33,7 @@ import numpy as np
 
 from ..curves import Curve, fcfs_utilization, sum_curves
 from ..model.system import SchedulingPolicy, System
+from ..obs.trace import trace_span
 from .base import AnalysisResult, EndToEndResult
 from .compositional import blocking_time
 from .hopbounds import (
@@ -111,7 +112,16 @@ class FixpointAnalysis:
         def analyze_once(h: float, report: float):
             return self._analyze_horizon(system, h, report)
 
-        return run_adaptive(analyze_once, system.job_set, self.horizon)
+        with trace_span(
+            "analyze", method=self.method, n_jobs=len(list(system.jobs))
+        ) as span:
+            result = run_adaptive(analyze_once, system.job_set, self.horizon)
+            span.set_attrs(
+                rounds=result.rounds,
+                horizon=result.horizon,
+                schedulable=result.schedulable,
+            )
+            return result
 
     # ------------------------------------------------------------------
 
@@ -148,72 +158,15 @@ class FixpointAnalysis:
         delays: Dict[Key, float] = {}
         hop_ok: Dict[Key, bool] = {}
         for sweep in range(self.max_iterations):
-            c_early = {s.key: visible_step(early[s.key], s.wcet, h) for s in subs}
-            c_late = {s.key: visible_step(late[s.key], s.wcet, h) for s in subs}
-            u_lo_cache: Dict[Hashable, Curve] = {}
-            new_early: Dict[Key, np.ndarray] = {}
-            new_late: Dict[Key, np.ndarray] = {}
-            delays = {}
-            hop_ok = {}
-            for sub in subs:
-                key = sub.key
-                peers = job_set.subjobs_on(sub.processor)
-                policy = self._policy(system, sub.processor)
-                if policy == SchedulingPolicy.FCFS:
-                    if sub.processor not in u_lo_cache:
-                        u_lo_cache[sub.processor] = fcfs_utilization(
-                            sum_curves([c_late[s.key] for s in peers]), t_end=h
-                        )
-                    dep_ub = fcfs_departure_bound(
-                        [c_early[s.key] for s in peers if s.key != key],
-                        u_lo_cache[sub.processor],
-                        late[key],
-                        sub.wcet,
-                    )
-                else:
-                    higher = [
-                        s
-                        for s in peers
-                        if s.key != key and s.priority < sub.priority
-                    ]
-                    lag = blocking_time(system, sub, policy)
-                    dep_ub = priority_departure_bound(
-                        [c_early[s.key] for s in higher],
-                        [c_late[s.key] for s in higher],
-                        c_late[key],
-                        late[key],
-                        sub.wcet,
-                        lag,
-                        h,
-                    )
-                n = early[key].size
-                m_rep = min(n, n_analyzed[key[0]])
-                if n:
-                    dep_ub = dep_ub.copy()
-                    dep_ub[dep_ub > h] = math.inf
-                    gaps = dep_ub[:m_rep] - early[key][:m_rep]
-                    delays[key] = float(np.max(gaps)) if gaps.size else 0.0
-                    hop_ok[key] = bool(np.all(np.isfinite(dep_ub[:m_rep])))
-                    arr_next = earliest_departures(
-                        c_early[key], early[key], sub.wcet, h
-                    )
-                else:
-                    arr_next = np.empty(0)
-                    delays[key] = 0.0
-                    hop_ok[key] = True
-                nxt = (key[0], key[1] + 1)
-                if nxt in early:
-                    # Tighten monotonically: later earliest-arrivals,
-                    # earlier latest-departures.
-                    new_early[nxt] = np.maximum(arr_next, early[nxt])
-                    new_late[nxt] = np.minimum(dep_ub, late[nxt])
-            early.update(new_early)
-            late.update(new_late)
-
-            totals = {
-                job.job_id: sum(delays[s.key] for s in job.subjobs)
-                for job in job_set
-            }
+            with trace_span("fixpoint.sweep", sweep=sweep + 1, horizon=h) as span:
+                delays, hop_ok = self._sweep_once(
+                    system, subs, h, n_analyzed, early, late
+                )
+                totals = {
+                    job.job_id: sum(delays[s.key] for s in job.subjobs)
+                    for job in job_set
+                }
+                span.set_attrs(bounded=all(hop_ok.values()))
             # Converged only when every bound is finite and stable: an
             # infinite total may still be propagating through the loop
             # (each sweep resolves one more hop of a cyclic chain).
@@ -277,3 +230,77 @@ class FixpointAnalysis:
                 n_instances=n_analyzed[job.job_id],
             )
         return result, all_ok
+
+    def _sweep_once(
+        self,
+        system: System,
+        subs,
+        h: float,
+        n_analyzed: Dict[str, int],
+        early: Dict[Key, np.ndarray],
+        late: Dict[Key, np.ndarray],
+    ) -> Tuple[Dict[Key, float], Dict[Key, bool]]:
+        """One Kleene sweep: re-bound every hop, tighten envelopes in place."""
+        job_set = system.job_set
+        c_early = {s.key: visible_step(early[s.key], s.wcet, h) for s in subs}
+        c_late = {s.key: visible_step(late[s.key], s.wcet, h) for s in subs}
+        u_lo_cache: Dict[Hashable, Curve] = {}
+        new_early: Dict[Key, np.ndarray] = {}
+        new_late: Dict[Key, np.ndarray] = {}
+        delays: Dict[Key, float] = {}
+        hop_ok: Dict[Key, bool] = {}
+        for sub in subs:
+            key = sub.key
+            peers = job_set.subjobs_on(sub.processor)
+            policy = self._policy(system, sub.processor)
+            if policy == SchedulingPolicy.FCFS:
+                if sub.processor not in u_lo_cache:
+                    u_lo_cache[sub.processor] = fcfs_utilization(
+                        sum_curves([c_late[s.key] for s in peers]), t_end=h
+                    )
+                dep_ub = fcfs_departure_bound(
+                    [c_early[s.key] for s in peers if s.key != key],
+                    u_lo_cache[sub.processor],
+                    late[key],
+                    sub.wcet,
+                )
+            else:
+                higher = [
+                    s
+                    for s in peers
+                    if s.key != key and s.priority < sub.priority
+                ]
+                lag = blocking_time(system, sub, policy)
+                dep_ub = priority_departure_bound(
+                    [c_early[s.key] for s in higher],
+                    [c_late[s.key] for s in higher],
+                    c_late[key],
+                    late[key],
+                    sub.wcet,
+                    lag,
+                    h,
+                )
+            n = early[key].size
+            m_rep = min(n, n_analyzed[key[0]])
+            if n:
+                dep_ub = dep_ub.copy()
+                dep_ub[dep_ub > h] = math.inf
+                gaps = dep_ub[:m_rep] - early[key][:m_rep]
+                delays[key] = float(np.max(gaps)) if gaps.size else 0.0
+                hop_ok[key] = bool(np.all(np.isfinite(dep_ub[:m_rep])))
+                arr_next = earliest_departures(
+                    c_early[key], early[key], sub.wcet, h
+                )
+            else:
+                arr_next = np.empty(0)
+                delays[key] = 0.0
+                hop_ok[key] = True
+            nxt = (key[0], key[1] + 1)
+            if nxt in early:
+                # Tighten monotonically: later earliest-arrivals,
+                # earlier latest-departures.
+                new_early[nxt] = np.maximum(arr_next, early[nxt])
+                new_late[nxt] = np.minimum(dep_ub, late[nxt])
+        early.update(new_early)
+        late.update(new_late)
+        return delays, hop_ok

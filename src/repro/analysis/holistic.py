@@ -36,6 +36,7 @@ import math
 from typing import Dict, Tuple
 
 from ..model.system import SchedulingPolicy, System
+from ..obs.trace import trace_span
 from .base import AnalysisError, AnalysisResult, EndToEndResult, SubjobResult
 from .spp_exact import _overloaded_result
 
@@ -73,6 +74,14 @@ class HolisticSPPAnalysis:
         self.divergence_factor = divergence_factor
 
     def analyze(self, system: System) -> AnalysisResult:
+        with trace_span(
+            "analyze", method=self.method, n_jobs=len(list(system.jobs))
+        ) as span:
+            result = self._analyze(system)
+            span.set_attrs(schedulable=result.schedulable)
+            return result
+
+    def _analyze(self, system: System) -> AnalysisResult:
         if not system.is_uniform(SchedulingPolicy.SPP):
             raise AnalysisError("HolisticSPPAnalysis requires SPP on every processor")
         system.validate()

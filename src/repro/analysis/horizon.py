@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from ..model.job import JobSet
+from ..obs.trace import trace_span
 from .base import AnalysisResult
 
 __all__ = ["HorizonConfig", "initial_horizon", "run_adaptive"]
@@ -144,6 +145,22 @@ def run_adaptive(
     round budget had been exhausted) with a structured entry appended to
     ``result.diagnostics`` naming the pattern, the round, and the horizon.
     """
+    with trace_span("horizon.adaptive") as span:
+        result = _run_adaptive(analyze_once, job_set, config)
+        span.set_attrs(
+            rounds=result.rounds,
+            horizon=result.horizon,
+            drained=result.drained,
+            converged=result.converged,
+        )
+        return result
+
+
+def _run_adaptive(
+    analyze_once: Callable[[float, float], Tuple[AnalysisResult, bool]],
+    job_set: JobSet,
+    config: HorizonConfig,
+) -> AnalysisResult:
     h = config.initial if config.initial is not None else initial_horizon(job_set)
     prev_bounds: Optional[Dict[str, float]] = None
     prev_prev_bounds: Optional[Dict[str, float]] = None
@@ -151,7 +168,9 @@ def run_adaptive(
     last_result: Optional[AnalysisResult] = None
     for round_idx in range(config.max_rounds):
         report = h * config.analyze_fraction
-        result, ok = analyze_once(h, report)
+        with trace_span("horizon.round", round=round_idx + 1, horizon=h) as span:
+            result, ok = analyze_once(h, report)
+            span.set_attrs(drained=ok)
         result.rounds = round_idx + 1
         last_result = result
         if ok:

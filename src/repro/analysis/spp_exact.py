@@ -30,6 +30,7 @@ import numpy as np
 
 from ..curves import Curve, identity_minus, service_transform, sum_curves
 from ..model.system import SchedulingPolicy, System
+from ..obs.trace import trace_span
 from .base import (
     AnalysisError,
     AnalysisResult,
@@ -114,7 +115,16 @@ class SppExactAnalysis:
         def analyze_once(h: float, report: float) -> Tuple[AnalysisResult, bool]:
             return self._analyze_horizon(system, order, h, report)
 
-        return run_adaptive(analyze_once, system.job_set, self.horizon)
+        with trace_span(
+            "analyze", method=self.method, n_jobs=len(list(system.jobs))
+        ) as span:
+            result = run_adaptive(analyze_once, system.job_set, self.horizon)
+            span.set_attrs(
+                rounds=result.rounds,
+                horizon=result.horizon,
+                schedulable=result.schedulable,
+            )
+            return result
 
     # ------------------------------------------------------------------
 
@@ -138,82 +148,102 @@ class SppExactAnalysis:
         for sub in order:
             key = sub.key
             job_id, idx = key
-            if idx == 0:
-                arr = releases[job_id]
-            else:
-                arr = completion_times[(job_id, idx - 1)]
-            arrival_times[key] = arr
-            visible = arr[arr < h] if arr.size else arr
-            c = Curve.step_from_times(visible, sub.wcet)
-            higher = [
-                service[s.key]
-                for s in job_set.subjobs_on(sub.processor)
-                if s.key != key and s.priority < sub.priority and s.key in service
-            ]
-            avail = identity_minus(sum_curves(higher)) if higher else Curve.identity()
-            s_curve = service_transform(avail, c, lag=0.0, t_end=h)
-            service[key] = s_curve
-            n = arr.size
-            if n:
-                levels = sub.wcet * np.arange(1, n + 1)
-                comp = np.atleast_1d(s_curve.first_crossing(levels))
-                # Instances not visible within the horizon cannot complete
-                # within it; mark them explicitly.
-                comp[arr >= h] = math.inf
-                # A completion "found" beyond the horizon extrapolates the
-                # service curve into unknown territory; it is not exact.
-                comp[comp > h] = math.inf
-            else:
-                comp = np.empty(0)
-            completion_times[key] = comp
+            with trace_span(
+                "hop", job=job_id, hop=idx, processor=str(sub.processor)
+            ) as span:
+                if idx == 0:
+                    arr = releases[job_id]
+                else:
+                    arr = completion_times[(job_id, idx - 1)]
+                arrival_times[key] = arr
+                visible = arr[arr < h] if arr.size else arr
+                c = Curve.step_from_times(visible, sub.wcet)
+                higher = [
+                    service[s.key]
+                    for s in job_set.subjobs_on(sub.processor)
+                    if s.key != key
+                    and s.priority < sub.priority
+                    and s.key in service
+                ]
+                avail = (
+                    identity_minus(sum_curves(higher))
+                    if higher
+                    else Curve.identity()
+                )
+                s_curve = service_transform(avail, c, lag=0.0, t_end=h)
+                service[key] = s_curve
+                n = arr.size
+                if n:
+                    levels = sub.wcet * np.arange(1, n + 1)
+                    comp = np.atleast_1d(s_curve.first_crossing(levels))
+                    # Instances not visible within the horizon cannot
+                    # complete within it; mark them explicitly.
+                    comp[arr >= h] = math.inf
+                    # A completion "found" beyond the horizon extrapolates
+                    # the service curve into unknown territory; not exact.
+                    comp[comp > h] = math.inf
+                else:
+                    comp = np.empty(0)
+                completion_times[key] = comp
+                span.set_attrs(n_instances=int(n), n_interferers=len(higher))
 
         result = AnalysisResult(
             method=self.method, horizon=h, drained=False, converged=False
         )
         all_ok = True
         for job in job_set:
-            rel = releases[job.job_id]
-            last_key = (job.job_id, job.n_subjobs - 1)
-            comp = completion_times[last_key]
-            analyzed = rel <= report
-            n_analyzed = int(np.count_nonzero(analyzed))
-            if n_analyzed == 0:
-                # Nothing released within the report window: vacuous bound.
-                res = EndToEndResult(
+            with trace_span("job", job=job.job_id):
+                result.jobs[job.job_id], ok = self._job_result(
+                    job, releases, completion_times, arrival_times, service, report
+                )
+            all_ok = all_ok and ok
+        return result, all_ok
+
+    def _job_result(
+        self, job, releases, completion_times, arrival_times, service, report
+    ) -> Tuple[EndToEndResult, bool]:
+        """Fold one job's per-hop completions into its end-to-end bound."""
+        rel = releases[job.job_id]
+        last_key = (job.job_id, job.n_subjobs - 1)
+        comp = completion_times[last_key]
+        analyzed = rel <= report
+        n_analyzed = int(np.count_nonzero(analyzed))
+        if n_analyzed == 0:
+            # Nothing released within the report window: vacuous bound.
+            return (
+                EndToEndResult(
                     job_id=job.job_id,
                     deadline=job.deadline,
                     wcrt=0.0,
                     n_instances=0,
-                )
-                result.jobs[job.job_id] = res
-                continue
-            comp_a = comp[:n_analyzed] if comp.size >= n_analyzed else comp
-            responses = comp_a - rel[: comp_a.size]
-            ok = bool(np.all(np.isfinite(comp_a))) and comp_a.size == n_analyzed
-            all_ok = all_ok and ok
-            wcrt = float(np.max(responses)) if responses.size else math.inf
-            if not ok:
-                wcrt = math.inf
-            res = EndToEndResult(
-                job_id=job.job_id,
-                deadline=job.deadline,
-                wcrt=wcrt,
-                n_instances=n_analyzed,
-                per_instance=responses if ok else None,
+                ),
+                True,
             )
-            if self.keep_curves:
-                for sub in job.subjobs:
-                    res.hops.append(
-                        SubjobResult(
-                            key=sub.key,
-                            processor=sub.processor,
-                            wcet=sub.wcet,
-                            priority=sub.priority,
-                            arrival_times=arrival_times[sub.key],
-                            completion_times=completion_times[sub.key],
-                            service_lower=service[sub.key],
-                            service_upper=service[sub.key],
-                        )
+        comp_a = comp[:n_analyzed] if comp.size >= n_analyzed else comp
+        responses = comp_a - rel[: comp_a.size]
+        ok = bool(np.all(np.isfinite(comp_a))) and comp_a.size == n_analyzed
+        wcrt = float(np.max(responses)) if responses.size else math.inf
+        if not ok:
+            wcrt = math.inf
+        res = EndToEndResult(
+            job_id=job.job_id,
+            deadline=job.deadline,
+            wcrt=wcrt,
+            n_instances=n_analyzed,
+            per_instance=responses if ok else None,
+        )
+        if self.keep_curves:
+            for sub in job.subjobs:
+                res.hops.append(
+                    SubjobResult(
+                        key=sub.key,
+                        processor=sub.processor,
+                        wcet=sub.wcet,
+                        priority=sub.priority,
+                        arrival_times=arrival_times[sub.key],
+                        completion_times=completion_times[sub.key],
+                        service_lower=service[sub.key],
+                        service_upper=service[sub.key],
                     )
-            result.jobs[job.job_id] = res
-        return result, all_ok
+                )
+        return res, ok

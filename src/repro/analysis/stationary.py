@@ -37,6 +37,7 @@ from ..curves.envelope import (
 )
 from ..model.job import SubJob
 from ..model.system import SchedulingPolicy, System
+from ..obs.trace import trace_span
 from .base import AnalysisResult, EndToEndResult, SubjobResult, dependency_order
 from .compositional import blocking_time
 
@@ -78,6 +79,14 @@ class StationaryAnalysis:
         self.keep_curves = keep_curves
 
     def analyze(self, system: System) -> AnalysisResult:
+        with trace_span(
+            "analyze", method=self.method, n_jobs=len(list(system.jobs))
+        ) as span:
+            result = self._analyze(system)
+            span.set_attrs(schedulable=result.schedulable)
+            return result
+
+    def _analyze(self, system: System) -> AnalysisResult:
         if system.uses_priorities():
             system.job_set.validate_priorities()
         job_set = system.job_set

@@ -43,6 +43,8 @@ from ..analysis.horizon import HorizonConfig
 from ..curves import audit_checks
 from ..curves.envelope import envelope_of
 from ..model.system import SchedulingPolicy, System
+from ..obs.metrics import inc as _metric_inc
+from ..obs.trace import trace_span
 from ..sim import simulate
 
 __all__ = [
@@ -480,12 +482,16 @@ def cross_validate(
                 else make_audit_analyzer(method, horizon)
             )
             instances[method] = analyzer
-            try:
-                out.results[method] = analyzer.analyze(system)
-            except AnalysisError as exc:
-                out.skipped[method] = str(exc)
-            except Exception as exc:  # noqa: BLE001 - audit must not die
-                out.errors[method] = f"{type(exc).__name__}: {exc}"
+            with trace_span("audit.method", method=method) as span:
+                try:
+                    out.results[method] = analyzer.analyze(system)
+                    span.set_attrs(outcome="analyzed")
+                except AnalysisError as exc:
+                    out.skipped[method] = str(exc)
+                    span.set_attrs(outcome="skipped")
+                except Exception as exc:  # noqa: BLE001 - audit must not die
+                    out.errors[method] = f"{type(exc).__name__}: {exc}"
+                    span.set_attrs(outcome="error")
 
         # Group analyzed methods by the policy their bounds refer to; one
         # simulation serves every method in a group.
@@ -503,12 +509,13 @@ def cross_validate(
             if window <= 0:
                 continue
             policy = None if key == "own" else SchedulingPolicy(key)
-            sim = simulate(
-                _sim_system(system, policy),
-                horizon=window,
-                report_window=window,
-                jitter_offsets=jitter_offsets,
-            )
+            with trace_span("audit.sim", group=key, window=window):
+                sim = simulate(
+                    _sim_system(system, policy),
+                    horizon=window,
+                    report_window=window,
+                    jitter_offsets=jitter_offsets,
+                )
             for method in group_methods:
                 result = out.results[method]
                 if not result.drained and not math.isinf(result.horizon):
@@ -526,4 +533,7 @@ def cross_validate(
         if check_envelopes:
             window = min(sim_cap, 200.0)
             _check_envelopes(system, window, out, tol)
+    _metric_inc("repro_audit_checks_total", out.n_checks)
+    for violation in out.violations:
+        _metric_inc("repro_audit_violations_total", kind=violation.kind)
     return out

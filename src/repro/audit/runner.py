@@ -27,6 +27,8 @@ from ..model.job import Job
 from ..model.priorities import assign_priorities_proportional_deadline
 from ..model.system import System
 from ..model.io import system_to_dict, system_from_dict
+from ..obs.metrics import inc as _metric_inc
+from ..obs.trace import trace_span
 from ..workloads.generators import (
     generate_aperiodic_jobset,
     generate_periodic_jobset,
@@ -249,35 +251,45 @@ def audit_one(
     # let methods skip (e.g. the exact analysis rejects jitter), so the
     # corrupted analyzer always runs against a pristine system.
     fault = "none" if config.corrupt else config.faults[index % len(config.faults)]
-    system = _random_system(rng, config.max_jobs, spp_only=bool(config.corrupt))
-    faulted, offsets = _apply_fault(system, fault, rng, config.sim_cap)
+    with trace_span("audit.system", index=index, seed=seed, fault=fault) as span:
+        system = _random_system(rng, config.max_jobs, spp_only=bool(config.corrupt))
+        faulted, offsets = _apply_fault(system, fault, rng, config.sim_cap)
 
-    analyzers = None
-    methods: Sequence[str] = config.methods
-    if config.corrupt:
-        methods = (config.corrupt,)
-        analyzers = {
-            config.corrupt: CorruptedAnalyzer(
-                make_audit_analyzer(config.corrupt), config.corrupt_factor
-            )
-        }
-    outcome = cross_validate(
-        faulted,
-        methods=methods,
-        sim_cap=config.sim_cap,
-        tol=config.tol,
-        jitter_offsets=offsets,
-        analyzers=analyzers,
-    )
-    audit = SystemAudit(
-        index=index,
-        seed=seed,
-        fault=fault,
-        n_jobs=len(list(faulted.jobs)),
-        outcome=outcome,
-    )
-    if outcome.violations and config.shrink:
-        audit.artifact_path = _shrink_and_save(config, audit, faulted, offsets)
+        analyzers = None
+        methods: Sequence[str] = config.methods
+        if config.corrupt:
+            methods = (config.corrupt,)
+            analyzers = {
+                config.corrupt: CorruptedAnalyzer(
+                    make_audit_analyzer(config.corrupt), config.corrupt_factor
+                )
+            }
+        outcome = cross_validate(
+            faulted,
+            methods=methods,
+            sim_cap=config.sim_cap,
+            tol=config.tol,
+            jitter_offsets=offsets,
+            analyzers=analyzers,
+        )
+        audit = SystemAudit(
+            index=index,
+            seed=seed,
+            fault=fault,
+            n_jobs=len(list(faulted.jobs)),
+            outcome=outcome,
+        )
+        if outcome.violations and config.shrink:
+            with trace_span("audit.shrink", index=index):
+                audit.artifact_path = _shrink_and_save(
+                    config, audit, faulted, offsets
+                )
+        span.set_attrs(
+            n_jobs=audit.n_jobs,
+            n_checks=outcome.n_checks,
+            n_violations=len(outcome.violations),
+        )
+        _metric_inc("repro_audit_systems_total", fault=fault)
     return audit
 
 
@@ -336,9 +348,13 @@ def _shrink_and_save(
 def run_audit(config: AuditConfig, progress=None) -> AuditReport:
     """Run a full audit campaign; deterministic in ``config.seed``."""
     report = AuditReport(config=config)
-    for index in range(config.n_systems):
-        audit = audit_one(config, index)
-        report.systems.append(audit)
-        if progress is not None:
-            progress(audit)
+    with trace_span("audit.run", n_systems=config.n_systems) as span:
+        for index in range(config.n_systems):
+            audit = audit_one(config, index)
+            report.systems.append(audit)
+            if progress is not None:
+                progress(audit)
+        span.set_attrs(
+            n_checks=report.n_checks, n_violations=report.n_violations
+        )
     return report

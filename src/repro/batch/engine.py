@@ -43,6 +43,9 @@ from ..analysis.base import AnalysisResult
 from ..analysis.horizon import HorizonConfig
 from ..curves import memo
 from ..model.system import System
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs_trace
+from ..obs.trace import trace_span
 
 __all__ = [
     "BatchEngine",
@@ -95,6 +98,13 @@ class ItemResult:
     cache_misses: int = 0
     audited: bool = False  #: soundness audit ran for this item
     violations: List[Dict[str, Any]] = field(default_factory=list)  #: audit findings
+    #: Span snapshot captured in the worker process (pool runs with the
+    #: parent tracing); ``None`` when tracing was off or the item ran
+    #: serially (serial spans nest directly into the parent collector).
+    trace: Optional[List[Dict[str, Any]]] = None
+    #: Worker-side :meth:`MetricsRegistry.snapshot`, merged into the
+    #: parent registry by :meth:`BatchEngine.run`; ``None`` as above.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -130,6 +140,10 @@ class ItemResult:
         }
         if self.audited:
             payload["violations"] = list(self.violations)
+        if self.trace is not None:
+            payload["trace"] = list(self.trace)
+        if self.metrics is not None:
+            payload["metrics"] = dict(self.metrics)
         return payload
 
 
@@ -246,60 +260,100 @@ def _analyze_one(
     record: _Record,
     timeout: Optional[float],
     cache: Optional[memo.CurveCache],
+    capture: Optional[Dict[str, bool]] = None,
 ) -> ItemResult:
     index, item_id, system, method, horizon, audit = record
-    before = cache.stats() if cache is not None else None
-    t0 = time.perf_counter()
-    result: Optional[AnalysisResult] = None
-    error: Optional[str] = None
-    audited = False
-    violations: List[Dict[str, Any]] = []
+    # Worker processes have no ambient observability state; when the
+    # parent ran with tracing/metrics on, ``capture`` asks for a fresh
+    # per-item collector/registry whose snapshots travel back across the
+    # pool boundary in the ItemResult.  Serially ``capture`` is None and
+    # spans/metrics flow straight into the parent's collectors.
+    collector = registry = None
+    if capture:
+        if capture.get("trace"):
+            collector = _obs_trace.enable_tracing(
+                detail=bool(capture.get("detail"))
+            )
+        if capture.get("metrics"):
+            registry = _obs_metrics.enable_metrics()
     try:
-        with _item_timeout(timeout):
-            result = make_analyzer(method, horizon).analyze(system)
-            if audit:
-                # Cross-validate this item's method against the simulator;
-                # findings ride along as structured violation records.
-                from ..audit.checks import cross_validate
+        before = cache.stats() if cache is not None else None
+        t0 = time.perf_counter()
+        result: Optional[AnalysisResult] = None
+        error: Optional[str] = None
+        audited = False
+        violations: List[Dict[str, Any]] = []
+        with trace_span("batch.item", item=item_id, method=method) as span:
+            try:
+                with _item_timeout(timeout):
+                    result = make_analyzer(method, horizon).analyze(system)
+                    if audit:
+                        # Cross-validate this item's method against the
+                        # simulator; findings ride along as structured
+                        # violation records.
+                        from ..audit.checks import cross_validate
 
-                outcome = cross_validate(system, methods=(method,), horizon=horizon)
-                audited = True
-                violations = [v.to_dict() for v in outcome.violations]
-        status = STATUS_OK
-    except _ItemTimeout:
-        status = STATUS_TIMEOUT
-        error = f"analysis exceeded the {timeout:g}s item timeout"
-    except Exception as exc:  # AnalysisError, ValueError, model errors, ...
-        status = STATUS_ERROR
-        error = f"{type(exc).__name__}: {exc}"
-    wall = time.perf_counter() - t0
-    delta = cache.stats().delta(before) if cache is not None else None
-    return ItemResult(
-        index=index,
-        item_id=item_id,
-        method=method,
-        status=status,
-        result=result,
-        error=error,
-        wall_time=wall,
-        rounds=result.rounds if result is not None else 0,
-        cache_hits=delta.hits if delta is not None else 0,
-        cache_misses=delta.misses if delta is not None else 0,
-        audited=audited,
-        violations=violations,
-    )
+                        outcome = cross_validate(
+                            system, methods=(method,), horizon=horizon
+                        )
+                        audited = True
+                        violations = [v.to_dict() for v in outcome.violations]
+                status = STATUS_OK
+            except _ItemTimeout:
+                status = STATUS_TIMEOUT
+                error = f"analysis exceeded the {timeout:g}s item timeout"
+            except Exception as exc:  # AnalysisError, ValueError, ...
+                status = STATUS_ERROR
+                error = f"{type(exc).__name__}: {exc}"
+            span.set_attrs(status=status)
+        wall = time.perf_counter() - t0
+        delta = cache.stats().delta(before) if cache is not None else None
+        if delta is not None and result is not None:
+            result.cache_stats = delta.to_dict()
+        item = ItemResult(
+            index=index,
+            item_id=item_id,
+            method=method,
+            status=status,
+            result=result,
+            error=error,
+            wall_time=wall,
+            rounds=result.rounds if result is not None else 0,
+            cache_hits=delta.hits if delta is not None else 0,
+            cache_misses=delta.misses if delta is not None else 0,
+            audited=audited,
+            violations=violations,
+        )
+    finally:
+        if collector is not None:
+            _obs_trace.disable_tracing()
+        if registry is not None:
+            _obs_metrics.disable_metrics()
+    if collector is not None:
+        item.trace = collector.snapshot()
+    if registry is not None:
+        item.metrics = registry.snapshot()
+    return item
 
 
-def _worker_chunk(payload) -> List[ItemResult]:
+def _worker_chunk(payload) -> Dict[str, Any]:
     """Pool entry point: analyze one chunk of records in a worker process.
 
     The worker enables a process-persistent curve cache on first use, so
     memoized kernels survive across chunks dispatched to the same worker
-    -- this is where cross-item curve reuse pays off.
+    -- this is where cross-item curve reuse pays off.  The return value
+    carries the chunk's pool queue wait (submit-to-start, wall clock)
+    alongside the per-item results.
     """
-    records, timeout, use_cache, cache_size = payload
+    records, timeout, use_cache, cache_size, capture, submitted_at = payload
+    queue_wait = (
+        max(0.0, time.time() - submitted_at) if submitted_at is not None else None
+    )
     cache = memo.enable_curve_cache(cache_size) if use_cache else None
-    return [_analyze_one(rec, timeout, cache) for rec in records]
+    return {
+        "queue_wait": queue_wait,
+        "results": [_analyze_one(rec, timeout, cache, capture) for rec in records],
+    }
 
 
 class BatchEngine:
@@ -369,13 +423,18 @@ class BatchEngine:
             for i, item in enumerate(items)
         ]
         t0 = time.perf_counter()
-        if self.n_workers > 1 and len(records) > 1:
-            results = self._run_pool(records)
-            n_workers = self.n_workers
-        else:
-            results = self._run_serial(records)
-            n_workers = 0
-        results.sort(key=lambda r: r.index)
+        with trace_span(
+            "batch.run", n_items=len(records), n_workers=self.n_workers
+        ) as span:
+            if self.n_workers > 1 and len(records) > 1:
+                results = self._run_pool(records)
+                n_workers = self.n_workers
+            else:
+                results = self._run_serial(records)
+                n_workers = 0
+            results.sort(key=lambda r: r.index)
+            self._merge_observability(results)
+            span.set_attrs(n_ok=sum(1 for r in results if r.ok))
         return BatchReport(
             results=results,
             wall_time=time.perf_counter() - t0,
@@ -395,6 +454,29 @@ class BatchEngine:
 
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _merge_observability(results: List[ItemResult]) -> None:
+        """Fold worker-side snapshots into the parent's collectors.
+
+        Called inside the open ``batch.run`` span, so ingested sub-traces
+        re-root under it; worker metric snapshots add into the parent
+        registry (counters/histograms sum, gauges overwrite).  Per-item
+        status counters land either way.
+        """
+        collector = _obs_trace.active_collector()
+        registry = _obs_metrics.active_metrics()
+        for item in results:
+            if collector is not None and item.trace:
+                collector.ingest(item.trace)
+            if registry is not None and item.metrics:
+                registry.merge(item.metrics)
+            if registry is not None:
+                registry.inc(
+                    "repro_batch_items_total",
+                    status=item.status,
+                    method=item.method,
+                )
+
     def _run_serial(self, records: List[_Record]) -> List[ItemResult]:
         if self._serial_cache is not None:
             with memo.curve_cache(cache=self._serial_cache) as cache:
@@ -411,11 +493,33 @@ class BatchEngine:
         from concurrent.futures import ProcessPoolExecutor, as_completed
         from concurrent.futures.process import BrokenProcessPool
 
+        capture: Optional[Dict[str, bool]] = {
+            "trace": _obs_trace.tracing_enabled(),
+            "detail": _obs_trace.detail_enabled(),
+            "metrics": _obs_metrics.metrics_enabled(),
+        }
+        if not (capture["trace"] or capture["metrics"]):
+            capture = None
+
         def payload(chunk: List[_Record]):
-            return (chunk, self.timeout, self.use_cache, self.cache_size)
+            return (
+                chunk,
+                self.timeout,
+                self.use_cache,
+                self.cache_size,
+                capture,
+                time.time(),
+            )
 
         results: List[ItemResult] = []
+        queue_waits: List[float] = []
         suspects: List[_Record] = []
+
+        def take(chunk_payload: Dict[str, Any]) -> None:
+            if chunk_payload.get("queue_wait") is not None:
+                queue_waits.append(chunk_payload["queue_wait"])
+            results.extend(chunk_payload["results"])
+
         with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
             futures = {
                 pool.submit(_worker_chunk, payload(chunk)): chunk
@@ -423,7 +527,7 @@ class BatchEngine:
             }
             for fut in as_completed(futures):
                 try:
-                    results.extend(fut.result())
+                    take(fut.result())
                 except Exception:  # BrokenProcessPool, result-pickling, ...
                     # A worker died (or the chunk result failed to travel
                     # back).  Innocent chunk-mates are retried one at a
@@ -437,26 +541,42 @@ class BatchEngine:
             with ProcessPoolExecutor(max_workers=1) as pool:
                 while suspects:
                     record = suspects[0]
+                    t_retry = time.perf_counter()
                     try:
                         chunk_result = pool.submit(
                             _worker_chunk, payload([record])
                         ).result()
                     except Exception as exc:  # noqa: BLE001 - crash isolation
-                        results.append(_crash_result(record, exc))
+                        # The item still gets a measured wall time -- the
+                        # span of the retry that killed its pool -- so
+                        # crash records carry partial metrics instead of
+                        # zeros.
+                        results.append(
+                            _crash_result(
+                                record, exc, wall=time.perf_counter() - t_retry
+                            )
+                        )
                         suspects.pop(0)
                         break  # this pool is broken; open a fresh one
-                    results.extend(chunk_result)
+                    take(chunk_result)
                     suspects.pop(0)
+
+        registry = _obs_metrics.active_metrics()
+        if registry is not None and queue_waits:
+            registry.set_gauge(
+                "repro_batch_queue_wait_seconds", max(queue_waits)
+            )
         return results
 
 
-def _crash_result(record: _Record, exc: Exception) -> ItemResult:
+def _crash_result(record: _Record, exc: Exception, wall: float = 0.0) -> ItemResult:
     index, item_id, _system, method, _horizon, _audit = record
     return ItemResult(
         index=index,
         item_id=item_id,
         method=method,
         status=STATUS_CRASH,
+        wall_time=wall,
         error=f"worker process died while analyzing this item "
         f"({type(exc).__name__}: {exc})",
     )

@@ -37,12 +37,21 @@ Commands
 
         python -m repro audit --systems 200 --seed 42
 
+``trace``
+    Profile one analysis run under full observability: detail tracing,
+    metrics and a persistent curve cache, written as a Chrome/Perfetto
+    trace plus a Prometheus text dump (see ``docs/observability.md``)::
+
+        python -m repro trace system.json --trace-out trace.json
+
 ``methods``
     List the available analysis methods.
 
 ``analyze`` and ``validate`` accept ``--json`` to emit the stable
 machine-readable result schema documented in ``docs/api.md`` instead of
-the human-readable summary.
+the human-readable summary.  ``analyze``, ``batch`` and ``audit`` accept
+``--trace-out FILE`` / ``--metrics-out FILE`` to capture a Chrome trace
+and/or Prometheus metrics of the run as a side effect.
 """
 
 from __future__ import annotations
@@ -57,6 +66,23 @@ from .model.io import load_system
 from .sim import simulate as run_simulation
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        dest="trace_out",
+        metavar="FILE",
+        help="write a Chrome/Perfetto trace of this run to FILE",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        dest="metrics_out",
+        metavar="FILE",
+        help="write a Prometheus text metrics dump of this run to FILE",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument(
         "--json", action="store_true", help="emit the machine-readable result schema"
     )
+    _add_obs_args(p_an)
 
     p_sim = sub.add_parser("simulate", help="simulate a JSON system description")
     p_sim.add_argument("system")
@@ -128,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-validate each analyzed item against the simulator; "
         "violation records are added to the output lines",
     )
+    _add_obs_args(p_bat)
 
     p_aud = sub.add_parser(
         "audit", help="randomized soundness audit (analysis vs simulation)"
@@ -177,6 +205,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_aud.add_argument(
         "--json", action="store_true", help="emit the full report as JSON"
     )
+    _add_obs_args(p_aud)
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="profile one analysis run (Chrome trace + Prometheus metrics)",
+    )
+    p_tr.add_argument("system", help="path to the system JSON file")
+    p_tr.add_argument(
+        "--method", default="SPP/Exact", choices=sorted(METHODS), metavar="METHOD"
+    )
+    p_tr.add_argument(
+        "--trace-out",
+        default="trace.json",
+        dest="trace_out",
+        metavar="FILE",
+        help="Chrome/Perfetto trace output (default: trace.json)",
+    )
+    p_tr.add_argument(
+        "--metrics-out",
+        default="metrics.prom",
+        dest="metrics_out",
+        metavar="FILE",
+        help="Prometheus text metrics output (default: metrics.prom)",
+    )
+    p_tr.add_argument(
+        "--no-detail",
+        action="store_true",
+        help="omit per-curve-op spans (coarse trace only)",
+    )
+    p_tr.add_argument(
+        "--embed",
+        action="store_true",
+        help="print the result JSON with the observability block embedded",
+    )
 
     p_rep = sub.add_parser("report", help="markdown analysis report")
     p_rep.add_argument("system")
@@ -195,9 +257,41 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_analyze(args) -> int:
+    from .obs import observe
+
     system = load_system(args.system)
-    result = make_analyzer(args.method).analyze(system)
+    with observe(trace_out=args.trace_out, metrics_out=args.metrics_out):
+        result = make_analyzer(args.method).analyze(system)
     print(result.to_json(indent=2) if args.json else result.summary())
+    return 0 if result.schedulable else 1
+
+
+def _cmd_trace(args) -> int:
+    from .curves import memo
+    from .obs import observe
+
+    system = load_system(args.system)
+    with observe(
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+        detail=not args.no_detail,
+        force_trace=True,
+        force_metrics=True,
+    ) as session:
+        with memo.curve_cache():
+            result = make_analyzer(args.method).analyze(system)
+        if args.embed:
+            result.observability = session.embed_block()
+        n_spans = len(session.collector.spans)
+    if args.embed:
+        print(result.to_json(indent=2))
+    else:
+        print(result.summary())
+    print(
+        f"trace: {n_spans} spans -> {args.trace_out}; "
+        f"metrics -> {args.metrics_out}",
+        file=sys.stderr,
+    )
     return 0 if result.schedulable else 1
 
 
@@ -303,6 +397,8 @@ def _cmd_batch(args) -> int:
             )
         )
 
+    from .obs import observe
+
     engine = BatchEngine(
         n_workers=args.workers,
         chunksize=args.chunksize,
@@ -310,7 +406,8 @@ def _cmd_batch(args) -> int:
         use_cache=not args.no_cache,
         audit=args.audit,
     )
-    report = engine.run(items)
+    with observe(trace_out=args.trace_out, metrics_out=args.metrics_out):
+        report = engine.run(items)
     for record in report:
         print(json.dumps(record.to_dict(), allow_nan=False))
     print(report.summary(), file=sys.stderr)
@@ -339,6 +436,7 @@ def _cmd_report(args) -> int:
 
 def _cmd_audit(args) -> int:
     from .audit import FAULTS, AuditConfig, run_audit
+    from .obs import observe
 
     config = AuditConfig(
         n_systems=args.systems,
@@ -352,20 +450,23 @@ def _cmd_audit(args) -> int:
         shrink=not args.no_shrink,
         artifact_dir=args.artifact_dir,
     )
+    with observe(trace_out=args.trace_out, metrics_out=args.metrics_out):
+        if args.json:
+            report = run_audit(config)
+        else:
+            def progress(audit) -> None:
+                if audit.outcome.violations:
+                    print(
+                        f"system {audit.index} (seed {audit.seed}, "
+                        f"fault {audit.fault}): "
+                        f"{len(audit.outcome.violations)} violation(s)",
+                        file=sys.stderr,
+                    )
+
+            report = run_audit(config, progress=progress)
     if args.json:
-        report = run_audit(config)
         print(json.dumps(report.to_dict(), indent=2, allow_nan=False))
     else:
-        def progress(audit) -> None:
-            if audit.outcome.violations:
-                print(
-                    f"system {audit.index} (seed {audit.seed}, "
-                    f"fault {audit.fault}): "
-                    f"{len(audit.outcome.violations)} violation(s)",
-                    file=sys.stderr,
-                )
-
-        report = run_audit(config, progress=progress)
         print(report.summary())
     return 0 if report.ok else 2
 
@@ -385,6 +486,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _cmd_figures,
         "batch": _cmd_batch,
         "audit": _cmd_audit,
+        "trace": _cmd_trace,
         "report": _cmd_report,
         "methods": _cmd_methods,
     }

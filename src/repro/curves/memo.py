@@ -29,7 +29,7 @@ import struct
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Dict, Iterator, Optional
 
 __all__ = [
     "CacheStats",
@@ -47,12 +47,13 @@ DEFAULT_CACHE_SIZE = 4096
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Immutable snapshot of a cache's hit/miss counters."""
+    """Immutable snapshot of a cache's hit/miss/eviction counters."""
 
     hits: int = 0
     misses: int = 0
     size: int = 0
     maxsize: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -71,13 +72,25 @@ class CacheStats:
             misses=self.misses - earlier.misses,
             size=self.size,
             maxsize=self.maxsize,
+            evictions=self.evictions - earlier.evictions,
         )
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready record (surfaced in schema-v1 result payloads)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": round(self.hit_rate, 6),
+        }
 
 
 class CurveCache:
     """Bounded LRU memo table mapping digest keys to curves."""
 
-    __slots__ = ("maxsize", "hits", "misses", "_table")
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_table")
 
     def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
         if maxsize <= 0:
@@ -85,6 +98,7 @@ class CurveCache:
         self.maxsize = int(maxsize)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._table: "OrderedDict[bytes, object]" = OrderedDict()
 
     def __len__(self) -> int:
@@ -105,6 +119,7 @@ class CurveCache:
         self._table.move_to_end(key)
         while len(self._table) > self.maxsize:
             self._table.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries; counters are preserved."""
@@ -116,6 +131,7 @@ class CurveCache:
             misses=self.misses,
             size=len(self._table),
             maxsize=self.maxsize,
+            evictions=self.evictions,
         )
 
 

@@ -20,11 +20,14 @@ breakpoints of ``B`` and the (lag-shifted) kinks of ``R``.
 from __future__ import annotations
 
 import math
+import time
 from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from . import memo
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs_trace
 from .curve import EPS, Curve, CurveError
 
 __all__ = [
@@ -35,6 +38,42 @@ __all__ = [
     "fcfs_utilization",
     "fcfs_service_bounds",
 ]
+
+
+def _run_op(op: str, impl, *args):
+    """Run a curve-op implementation under optional observability.
+
+    With neither an active metrics registry nor detail-level tracing this
+    is a plain call -- one global load per operator application.  When
+    enabled it times the computation into the ``repro_curve_op_seconds``
+    histogram and (under ``detail`` tracing) records one retroactive span
+    per computed operator, parented to whatever analysis span is open.
+    Cache *hits* deliberately get a counter but no span: the lookup is
+    cheaper than the span it would produce.
+    """
+    registry = _obs_metrics.active_metrics()
+    detail = _obs_trace.detail_enabled()
+    if registry is None and not detail:
+        return impl(*args)
+    t0 = time.perf_counter()
+    result = impl(*args)
+    dt = time.perf_counter() - t0
+    if registry is not None:
+        registry.observe("repro_curve_op_seconds", dt, op=op)
+    if detail:
+        _obs_trace.active_collector().record("curve." + op, t0, dt, {"op": op})
+    return result
+
+
+def _count_cache(op: str, hit: bool) -> None:
+    registry = _obs_metrics.active_metrics()
+    if registry is not None:
+        name = (
+            "repro_curve_cache_hits_total"
+            if hit
+            else "repro_curve_cache_misses_total"
+        )
+        registry.inc(name, op=op)
 
 
 def _union_grid(arrays: Sequence[np.ndarray], t_end: float = math.inf) -> np.ndarray:
@@ -83,12 +122,13 @@ def sum_curves(curves: Sequence[Curve]) -> Curve:
         return curves[0]
     cache = memo.active_curve_cache()
     if cache is None:
-        return _sum_curves_impl(curves)
+        return _run_op("sum_curves", _sum_curves_impl, curves)
     key = memo.transform_key(b"sum_curves", curves, ())
     hit = cache.get(key)
+    _count_cache("sum_curves", hit is not None)
     if hit is not None:
         return hit
-    result = _sum_curves_impl(curves)
+    result = _run_op("sum_curves", _sum_curves_impl, curves)
     cache.put(key, result)
     return result
 
@@ -182,14 +222,15 @@ def identity_minus(total: Curve, lateness: float = 0.0, mode: str = "exact") -> 
         raise CurveError(f"unknown mode {mode!r}")
     cache = memo.active_curve_cache()
     if cache is None:
-        return _identity_minus_impl(total, lateness, mode)
+        return _run_op("identity_minus", _identity_minus_impl, total, lateness, mode)
     key = memo.transform_key(
         b"identity_minus:" + mode.encode(), (total,), (lateness,)
     )
     hit = cache.get(key)
+    _count_cache("identity_minus", hit is not None)
     if hit is not None:
         return hit
-    result = _identity_minus_impl(total, lateness, mode)
+    result = _run_op("identity_minus", _identity_minus_impl, total, lateness, mode)
     cache.put(key, result)
     return result
 
@@ -429,12 +470,13 @@ def service_transform(
         t_end = max(B.x_end, c.x_end) + 1.0
     cache = memo.active_curve_cache()
     if cache is None:
-        return _service_transform_impl(B, c, lag, t_end)
+        return _run_op("service_transform", _service_transform_impl, B, c, lag, t_end)
     key = memo.transform_key(b"service_transform", (B, c), (lag, t_end))
     hit = cache.get(key)
+    _count_cache("service_transform", hit is not None)
     if hit is not None:
         return hit
-    result = _service_transform_impl(B, c, lag, t_end)
+    result = _run_op("service_transform", _service_transform_impl, B, c, lag, t_end)
     cache.put(key, result)
     return result
 

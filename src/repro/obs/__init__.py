@@ -1,0 +1,92 @@
+"""``repro.obs`` -- zero-dependency observability for the analysis stack.
+
+Three small, composable layers (no third-party imports anywhere):
+
+* :mod:`repro.obs.trace` -- spans (``trace_span`` context manager /
+  ``traced`` decorator) recorded by a process-local collector that is a
+  shared no-op until enabled;
+* :mod:`repro.obs.metrics` -- a registry of named counters, gauges and
+  log-bucketed timing histograms with the same opt-in discipline;
+* :mod:`repro.obs.export` -- Chrome/Perfetto ``trace_event`` JSON and
+  Prometheus text renderers, plus :func:`repro.obs.session.observe`,
+  the one-call session wrapper the CLI builds on.
+
+The instrumented layers are the curve kernels and memo cache
+(:mod:`repro.curves`), every registered analyzer (per-analyzer spans with
+per-job/hop children, horizon rounds, fixpoint sweeps), the batch engine
+(worker-side spans and metrics serialized back across the pool boundary)
+and the audit runner.  ``docs/observability.md`` documents the span
+taxonomy and metric names.
+"""
+
+from .export import (
+    chrome_trace_events,
+    chrome_trace_json,
+    prometheus_lines,
+    prometheus_text,
+    write_chrome_trace,
+    write_prometheus,
+)
+from .metrics import (
+    MetricsRegistry,
+    active_metrics,
+    disable_metrics,
+    enable_metrics,
+    inc,
+    metrics_enabled,
+    set_gauge,
+    timer,
+)
+from .metrics import metrics as metrics_session
+from .metrics import observe as observe_value
+from .session import ObsSession, observe
+from .trace import (
+    Span,
+    TraceCollector,
+    active_collector,
+    detail_enabled,
+    disable_tracing,
+    enable_tracing,
+    set_span_attrs,
+    trace_span,
+    traced,
+    tracing,
+    tracing_enabled,
+)
+
+# Keep the package attributes ``metrics``/``trace``/... bound to the
+# submodules (the from-imports above must not shadow them: callers rely on
+# ``repro.obs.metrics.active_metrics()`` reading live module state).
+from . import export, metrics, session, trace  # noqa: E402, F401
+
+__all__ = [
+    "Span",
+    "TraceCollector",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing",
+    "tracing_enabled",
+    "detail_enabled",
+    "active_collector",
+    "trace_span",
+    "traced",
+    "set_span_attrs",
+    "MetricsRegistry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_session",
+    "metrics_enabled",
+    "active_metrics",
+    "inc",
+    "set_gauge",
+    "observe_value",
+    "timer",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "prometheus_lines",
+    "prometheus_text",
+    "write_chrome_trace",
+    "write_prometheus",
+    "ObsSession",
+    "observe",
+]

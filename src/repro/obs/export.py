@@ -1,0 +1,148 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON and Prometheus text.
+
+Both formats are deliberately lowest-common-denominator:
+
+* :func:`chrome_trace_events` emits the JSON *array* flavor of the Trace
+  Event Format -- one complete (``"ph": "X"``) event per finished span,
+  with microsecond timestamps relative to the earliest span.  The file
+  loads directly in ``chrome://tracing`` and in Perfetto's legacy
+  importer.
+* :func:`prometheus_lines` renders a :class:`~repro.obs.metrics.
+  MetricsRegistry` (or one of its snapshots) in the Prometheus text
+  exposition format, one ``# TYPE`` header per metric family.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Sequence, Union
+
+from .metrics import MetricsRegistry
+from .trace import Span, TraceCollector
+
+__all__ = [
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "prometheus_lines",
+    "prometheus_text",
+    "write_prometheus",
+]
+
+SpanLike = Union[Span, Dict[str, Any]]
+
+
+def _span_dicts(
+    source: Union[TraceCollector, Sequence[SpanLike]]
+) -> List[Dict[str, Any]]:
+    if isinstance(source, TraceCollector):
+        return source.snapshot()
+    return [s.to_dict() if isinstance(s, Span) else dict(s) for s in source]
+
+
+def chrome_trace_events(
+    source: Union[TraceCollector, Sequence[SpanLike]]
+) -> List[Dict[str, Any]]:
+    """Spans as a list of Trace Event Format "complete" events."""
+    spans = _span_dicts(source)
+    finite_starts = [s["start"] for s in spans if math.isfinite(s["start"])]
+    t0 = min(finite_starts) if finite_starts else 0.0
+    events: List[Dict[str, Any]] = []
+    for s in spans:
+        start, end = s["start"], s["end"]
+        if not (math.isfinite(start) and math.isfinite(end)):
+            continue
+        args = dict(s.get("attrs") or {})
+        args["span_id"] = s["id"]
+        if s.get("parent") is not None:
+            args["parent_id"] = s["parent"]
+        events.append(
+            {
+                "name": s["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": (start - t0) * 1e6,
+                "dur": max(0.0, end - start) * 1e6,
+                "pid": s.get("pid", 0),
+                "tid": s.get("pid", 0),
+                "args": args,
+            }
+        )
+    events.sort(key=lambda e: e["ts"])
+    return events
+
+
+def chrome_trace_json(
+    source: Union[TraceCollector, Sequence[SpanLike]], indent: int = None
+) -> str:
+    """The Chrome trace as a strict-JSON array string."""
+    return json.dumps(chrome_trace_events(source), indent=indent, allow_nan=False)
+
+
+def write_chrome_trace(
+    path: str, source: Union[TraceCollector, Sequence[SpanLike]]
+) -> None:
+    with open(path, "w") as fh:
+        fh.write(chrome_trace_json(source))
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+
+
+def _fmt_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_lines(
+    source: Union[MetricsRegistry, Dict[str, Any]]
+) -> List[str]:
+    """Prometheus text exposition lines for a registry or snapshot."""
+    if isinstance(source, MetricsRegistry):
+        registry = source
+    else:
+        registry = MetricsRegistry()
+        registry.merge(source)
+    lines: List[str] = []
+    for name in sorted(registry.counters):
+        lines.append(f"# TYPE {name} counter")
+        for key in sorted(registry.counters[name]):
+            value = registry.counters[name][key]
+            lines.append(f"{name}{key} {_fmt_value(value)}")
+    for name in sorted(registry.gauges):
+        lines.append(f"# TYPE {name} gauge")
+        for key in sorted(registry.gauges[name]):
+            value = registry.gauges[name][key]
+            lines.append(f"{name}{key} {_fmt_value(value)}")
+    for name in sorted(registry.histograms):
+        lines.append(f"# TYPE {name} histogram")
+        for key in sorted(registry.histograms[name]):
+            hist = registry.histograms[name][key]
+            bare = key[1:-1] if key else ""
+            cumulative = 0
+            for bound, count in zip(
+                list(hist.bounds) + [math.inf], hist.counts
+            ):
+                cumulative += count
+                le = _fmt_value(bound) if math.isfinite(bound) else "+Inf"
+                labels = f'{bare},le="{le}"' if bare else f'le="{le}"'
+                lines.append(f"{name}_bucket{{{labels}}} {cumulative}")
+            lines.append(f"{name}_sum{key} {repr(float(hist.sum))}")
+            lines.append(f"{name}_count{key} {hist.count}")
+    return lines
+
+
+def prometheus_text(source: Union[MetricsRegistry, Dict[str, Any]]) -> str:
+    return "\n".join(prometheus_lines(source)) + "\n"
+
+
+def write_prometheus(
+    path: str, source: Union[MetricsRegistry, Dict[str, Any]]
+) -> None:
+    with open(path, "w") as fh:
+        fh.write(prometheus_text(source))

@@ -1,0 +1,243 @@
+"""Process-local metrics: named counters, gauges and timing histograms.
+
+A :class:`MetricsRegistry` stores three families keyed by metric name plus
+an optional label set:
+
+* **counters** -- monotone totals (``repro_memo_hits_total``);
+* **gauges** -- last-written values (``repro_batch_queue_wait_last_seconds``);
+* **histograms** -- log-bucketed timing distributions with ``sum`` and
+  ``count`` (``repro_curve_op_seconds``).
+
+Like tracing (:mod:`repro.obs.trace`), metrics are opt in per process:
+the module-level helpers :func:`inc`, :func:`set_gauge`, :func:`observe`
+and :func:`timer` are cheap no-ops until :func:`enable_metrics` installs
+an active registry.  Registries cross the batch engine's process-pool
+boundary as :meth:`MetricsRegistry.snapshot` dicts and are folded back
+with :meth:`MetricsRegistry.merge` (counters and histograms add, gauges
+take the incoming value).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "active_metrics",
+    "metrics",
+    "inc",
+    "set_gauge",
+    "observe",
+    "timer",
+]
+
+#: Histogram bucket upper bounds in seconds (log-spaced; +Inf is implicit).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 60.0,
+)
+
+
+def _label_key(labels: Dict[str, Any]) -> str:
+    """Canonical ``{k="v",...}`` suffix (empty string when unlabeled)."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return "{" + inner + "}"
+
+
+class _Histogram:
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # trailing slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        slot = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                slot = i
+                break
+        self.counts[slot] += 1
+        self.sum += value
+        self.count += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def merge(self, data: Dict[str, Any]) -> None:
+        bounds = tuple(data.get("bounds", DEFAULT_BUCKETS))
+        counts = data.get("counts", [])
+        if bounds != self.bounds or len(counts) != len(self.counts):
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, c in enumerate(counts):
+            self.counts[i] += int(c)
+        self.sum += float(data.get("sum", 0.0))
+        self.count += int(data.get("count", 0))
+
+
+class MetricsRegistry:
+    """Counter/gauge/histogram store; see the module docstring."""
+
+    def __init__(self) -> None:
+        # name -> label-suffix -> value / histogram
+        self.counters: Dict[str, Dict[str, float]] = {}
+        self.gauges: Dict[str, Dict[str, float]] = {}
+        self.histograms: Dict[str, Dict[str, _Histogram]] = {}
+
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        series = self.counters.setdefault(name, {})
+        key = _label_key(labels)
+        series[key] = series.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        self.gauges.setdefault(name, {})[_label_key(labels)] = float(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        series = self.histograms.setdefault(name, {})
+        key = _label_key(labels)
+        hist = series.get(key)
+        if hist is None:
+            hist = series[key] = _Histogram()
+        hist.observe(value)
+
+    @contextmanager
+    def timer(self, name: str, **labels: Any) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - t0, **labels)
+
+    # ------------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Sum of a counter across label sets (or one labeled series)."""
+        series = self.counters.get(name, {})
+        if labels:
+            return series.get(_label_key(labels), 0.0)
+        return sum(series.values())
+
+    def gauge_value(self, name: str, **labels: Any) -> Optional[float]:
+        return self.gauges.get(name, {}).get(_label_key(labels))
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe dump of every series (pool-boundary currency)."""
+        return {
+            "counters": {n: dict(s) for n, s in self.counters.items()},
+            "gauges": {n: dict(s) for n, s in self.gauges.items()},
+            "histograms": {
+                n: {k: h.to_dict() for k, h in s.items()}
+                for n, s in self.histograms.items()
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a snapshot in: counters/histograms add, gauges overwrite."""
+        for name, series in (snapshot.get("counters") or {}).items():
+            for key, value in series.items():
+                dst = self.counters.setdefault(name, {})
+                dst[key] = dst.get(key, 0.0) + float(value)
+        for name, series in (snapshot.get("gauges") or {}).items():
+            for key, value in series.items():
+                self.gauges.setdefault(name, {})[key] = float(value)
+        for name, series in (snapshot.get("histograms") or {}).items():
+            for key, data in series.items():
+                dst = self.histograms.setdefault(name, {})
+                hist = dst.get(key)
+                if hist is None:
+                    hist = dst[key] = _Histogram(
+                        tuple(data.get("bounds", DEFAULT_BUCKETS))
+                    )
+                    hist.counts = [0] * (len(hist.bounds) + 1)
+                hist.merge(data)
+
+    def names(self) -> List[str]:
+        out = set(self.counters) | set(self.gauges) | set(self.histograms)
+        return sorted(out)
+
+
+# ----------------------------------------------------------------------
+# process-local activation
+# ----------------------------------------------------------------------
+
+_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def enable_metrics(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Install a registry for this process (fresh unless one is passed)."""
+    global _REGISTRY
+    _REGISTRY = registry if registry is not None else MetricsRegistry()
+    return _REGISTRY
+
+
+def disable_metrics() -> Optional[MetricsRegistry]:
+    """Deactivate metrics; returns the registry that was active."""
+    global _REGISTRY
+    registry, _REGISTRY = _REGISTRY, None
+    return registry
+
+
+def metrics_enabled() -> bool:
+    return _REGISTRY is not None
+
+
+def active_metrics() -> Optional[MetricsRegistry]:
+    return _REGISTRY
+
+
+@contextmanager
+def metrics() -> Iterator[MetricsRegistry]:
+    """Scope a fresh registry to a ``with`` block, restoring prior state."""
+    global _REGISTRY
+    prev = _REGISTRY
+    _REGISTRY = MetricsRegistry()
+    try:
+        yield _REGISTRY
+    finally:
+        _REGISTRY = prev
+
+
+def inc(name: str, value: float = 1.0, **labels: Any) -> None:
+    registry = _REGISTRY
+    if registry is not None:
+        registry.inc(name, value, **labels)
+
+
+def set_gauge(name: str, value: float, **labels: Any) -> None:
+    registry = _REGISTRY
+    if registry is not None:
+        registry.set_gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    registry = _REGISTRY
+    if registry is not None:
+        registry.observe(name, value, **labels)
+
+
+@contextmanager
+def timer(name: str, **labels: Any) -> Iterator[None]:
+    registry = _REGISTRY
+    if registry is None:
+        yield
+        return
+    with registry.timer(name, **labels):
+        yield

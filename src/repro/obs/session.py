@@ -1,0 +1,98 @@
+"""One-stop observability sessions for CLI commands and scripts.
+
+:func:`observe` bundles the enable/disable bookkeeping of
+:mod:`repro.obs.trace` and :mod:`repro.obs.metrics` behind a single
+context manager and writes the requested artifacts on exit::
+
+    from repro.obs import observe
+
+    with observe(trace_out="trace.json", metrics_out="metrics.prom",
+                 detail=True) as session:
+        run_analysis(...)
+    # trace.json now holds a Chrome trace, metrics.prom a Prometheus dump
+
+Either output may be omitted; tracing activates whenever a trace sink (or
+``force_trace``) is requested, metrics whenever a metrics sink (or
+``force_metrics``) is.  The previous process-local state is restored on
+exit, so sessions nest safely around code that manages its own obs state.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from . import metrics as _metrics
+from . import trace as _trace
+from .export import chrome_trace_events, write_chrome_trace, write_prometheus
+
+__all__ = ["ObsSession", "observe"]
+
+
+class ObsSession:
+    """Handles to the collector/registry active inside :func:`observe`."""
+
+    def __init__(
+        self,
+        collector: Optional[_trace.TraceCollector],
+        registry: Optional[_metrics.MetricsRegistry],
+    ) -> None:
+        self.collector = collector
+        self.registry = registry
+
+    @property
+    def enabled(self) -> bool:
+        return self.collector is not None or self.registry is not None
+
+    def trace_events(self) -> List[Dict[str, Any]]:
+        """Chrome trace events collected so far (empty without tracing)."""
+        return chrome_trace_events(self.collector) if self.collector else []
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        return self.registry.snapshot() if self.registry else {}
+
+    def embed_block(self) -> Dict[str, Any]:
+        """The ``observability`` block embedded in schema-v1 payloads."""
+        block: Dict[str, Any] = {}
+        if self.collector is not None:
+            block["trace"] = self.trace_events()
+        if self.registry is not None:
+            block["metrics"] = self.metrics_snapshot()
+        return block
+
+
+@contextmanager
+def observe(
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    detail: bool = False,
+    force_trace: bool = False,
+    force_metrics: bool = False,
+) -> Iterator[ObsSession]:
+    """Enable tracing/metrics for a block and write artifacts on exit."""
+    want_trace = force_trace or trace_out is not None
+    want_metrics = force_metrics or metrics_out is not None
+    prev_collector = _trace.active_collector()
+    prev_detail = _trace.detail_enabled()
+    prev_registry = _metrics.active_metrics()
+
+    collector = _trace.enable_tracing(detail=detail) if want_trace else None
+    registry = _metrics.enable_metrics() if want_metrics else None
+    session = ObsSession(collector, registry)
+    try:
+        yield session
+    finally:
+        if want_trace:
+            if prev_collector is not None:
+                _trace.enable_tracing(detail=prev_detail, collector=prev_collector)
+            else:
+                _trace.disable_tracing()
+        if want_metrics:
+            if prev_registry is not None:
+                _metrics.enable_metrics(prev_registry)
+            else:
+                _metrics.disable_metrics()
+        if collector is not None and trace_out is not None:
+            write_chrome_trace(trace_out, collector)
+        if registry is not None and metrics_out is not None:
+            write_prometheus(metrics_out, registry)

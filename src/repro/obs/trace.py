@@ -1,0 +1,372 @@
+"""Structured tracing: spans, a process-local collector, cheap no-ops.
+
+A *span* is a named, timed region of work with key/value attributes and a
+parent -- the innermost span open when it started.  Spans are recorded by
+a process-local :class:`TraceCollector`; when no collector is active (the
+default) every tracing entry point degrades to a shared, allocation-free
+no-op, so instrumented code pays one module-global load per call site.
+
+Times are stored as wall-clock epoch seconds derived from a single
+``(time.time(), time.perf_counter())`` anchor taken when the collector is
+created: within one process spans keep ``perf_counter`` precision, and
+spans captured in different processes (the batch engine's pool workers)
+land on a common axis so a merged trace lines up in a viewer.
+
+Typical use::
+
+    from repro.obs import enable_tracing, trace_span, traced
+
+    collector = enable_tracing()
+    with trace_span("analyze", method="SPP/Exact") as span:
+        ...
+        span.set_attrs(rounds=3)
+    events = collector.snapshot()          # JSON-safe span dicts
+
+Worker-side traces cross the process-pool boundary as those snapshot
+dicts and are re-rooted into the parent's collector with
+:meth:`TraceCollector.ingest`.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "TraceCollector",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing",
+    "tracing_enabled",
+    "detail_enabled",
+    "active_collector",
+    "trace_span",
+    "traced",
+    "set_span_attrs",
+]
+
+#: Finished spans kept per collector before further ones are counted as
+#: dropped instead of stored (a runaway-detail backstop, not a quota).
+DEFAULT_MAX_SPANS = 200_000
+
+
+@dataclass
+class Span:
+    """One named, timed region; ``end`` is NaN while the span is open."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float  #: wall-clock epoch seconds
+    end: float = float("nan")
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    pid: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": {k: _json_safe(v) for k, v in self.attrs.items()},
+            "pid": self.pid,
+        }
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, float):
+        # Strict-JSON exporters reject NaN/Infinity; stringify those.
+        return value if math.isfinite(value) else str(value)
+    if isinstance(value, (bool, int, str)) or value is None:
+        return value
+    return str(value)
+
+
+class TraceCollector:
+    """Process-local span store with an open-span stack.
+
+    The collector is single-threaded by design -- every analysis path in
+    this package is; cross-process concurrency goes through
+    :meth:`snapshot` / :meth:`ingest` instead of shared state.
+    """
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self._anchor_wall = time.time()
+        self._anchor_perf = time.perf_counter()
+        self._pid = os.getpid()
+
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Wall-clock epoch seconds with ``perf_counter`` resolution."""
+        return self._anchor_wall + (time.perf_counter() - self._anchor_perf)
+
+    def _epoch(self, perf_time: float) -> float:
+        return self._anchor_wall + (perf_time - self._anchor_perf)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def start_span(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> Span:
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            start=self.now(),
+            attrs=dict(attrs) if attrs else {},
+            pid=self._pid,
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        # Tolerate exception-driven unwinding: close any inner spans left
+        # open above ``span`` on the stack rather than corrupting it.
+        while self._stack:
+            top = self._stack.pop()
+            top.end = self.now()
+            self._store(top)
+            if top is span:
+                return
+
+    def record(
+        self,
+        name: str,
+        start_perf: float,
+        duration: float,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Append an already-finished span (retroactive, e.g. a timed op)."""
+        start = self._epoch(start_perf)
+        self._store(
+            Span(
+                span_id=self._alloc_id(),
+                parent_id=self._stack[-1].span_id if self._stack else None,
+                name=name,
+                start=start,
+                end=start + duration,
+                attrs=dict(attrs) if attrs else {},
+                pid=self._pid,
+            )
+        )
+
+    def _alloc_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def _store(self, span: Span) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Finished spans as JSON-safe dicts (pool-boundary currency)."""
+        return [s.to_dict() for s in self.spans]
+
+    def ingest(
+        self,
+        span_dicts: List[Dict[str, Any]],
+        parent_id: Optional[int] = None,
+    ) -> None:
+        """Merge a snapshot from another process into this collector.
+
+        Ids are remapped into this collector's id space; sub-trace roots
+        (spans whose parent is absent from the snapshot) are attached
+        under ``parent_id``, or under the currently open span when
+        ``parent_id`` is None.
+        """
+        if parent_id is None and self._stack:
+            parent_id = self._stack[-1].span_id
+        known = {d["id"] for d in span_dicts}
+        remap: Dict[int, int] = {}
+        for d in span_dicts:
+            remap[d["id"]] = self._alloc_id()
+        for d in span_dicts:
+            parent = d.get("parent")
+            if parent in known:
+                new_parent: Optional[int] = remap[parent]
+            else:
+                new_parent = parent_id
+            self._store(
+                Span(
+                    span_id=remap[d["id"]],
+                    parent_id=new_parent,
+                    name=d["name"],
+                    start=float(d["start"]),
+                    end=float(d["end"]),
+                    attrs=dict(d.get("attrs") or {}),
+                    pid=int(d.get("pid", 0)),
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# process-local activation
+# ----------------------------------------------------------------------
+
+_COLLECTOR: Optional[TraceCollector] = None
+_DETAIL = False
+
+
+def enable_tracing(
+    detail: bool = False,
+    collector: Optional[TraceCollector] = None,
+    max_spans: int = DEFAULT_MAX_SPANS,
+) -> TraceCollector:
+    """Activate span collection for this process.
+
+    ``detail`` additionally records per-curve-op spans (see
+    :mod:`repro.curves.ops`) -- the heaviest layer, off by default.
+    Passing an explicit ``collector`` installs that instance; otherwise a
+    fresh collector replaces whatever was active.
+    """
+    global _COLLECTOR, _DETAIL
+    _COLLECTOR = collector if collector is not None else TraceCollector(max_spans)
+    _DETAIL = bool(detail)
+    return _COLLECTOR
+
+
+def disable_tracing() -> Optional[TraceCollector]:
+    """Deactivate span collection; returns the collector that was active."""
+    global _COLLECTOR, _DETAIL
+    collector, _COLLECTOR = _COLLECTOR, None
+    _DETAIL = False
+    return collector
+
+
+def tracing_enabled() -> bool:
+    return _COLLECTOR is not None
+
+
+def detail_enabled() -> bool:
+    """True when curve-op level spans should be recorded."""
+    return _DETAIL and _COLLECTOR is not None
+
+
+def active_collector() -> Optional[TraceCollector]:
+    return _COLLECTOR
+
+
+@contextmanager
+def tracing(
+    detail: bool = False, max_spans: int = DEFAULT_MAX_SPANS
+) -> Iterator[TraceCollector]:
+    """Scope tracing to a ``with`` block, restoring the prior state."""
+    global _COLLECTOR, _DETAIL
+    prev, prev_detail = _COLLECTOR, _DETAIL
+    collector = TraceCollector(max_spans)
+    _COLLECTOR, _DETAIL = collector, bool(detail)
+    try:
+        yield collector
+    finally:
+        _COLLECTOR, _DETAIL = prev, prev_detail
+
+
+# ----------------------------------------------------------------------
+# span entry points
+# ----------------------------------------------------------------------
+
+
+class _NullSpan:
+    """Shared no-op handle returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set_attrs(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager binding one live span to a collector."""
+
+    __slots__ = ("_collector", "_name", "_attrs", "_span")
+
+    def __init__(
+        self, collector: TraceCollector, name: str, attrs: Dict[str, Any]
+    ) -> None:
+        self._collector = collector
+        self._name = name
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> "_SpanHandle":
+        self._span = self._collector.start_span(self._name, self._attrs)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        if self._span is not None:
+            self._collector.end_span(self._span)
+        return False
+
+    def set_attrs(self, **attrs: Any) -> None:
+        if self._span is not None:
+            self._span.attrs.update(attrs)
+        else:
+            self._attrs.update(attrs)
+
+
+def trace_span(name: str, **attrs: Any):
+    """Open a span for a ``with`` block; a shared no-op when disabled."""
+    collector = _COLLECTOR
+    if collector is None:
+        return _NULL_SPAN
+    return _SpanHandle(collector, name, attrs)
+
+
+def traced(name: Optional[str] = None, **attrs: Any) -> Callable:
+    """Decorator form of :func:`trace_span` (span named after the callee)."""
+
+    def decorate(fn: Callable) -> Callable:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            if _COLLECTOR is None:
+                return fn(*args, **kwargs)
+            with trace_span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def set_span_attrs(**attrs: Any) -> None:
+    """Attach attributes to the innermost open span, if tracing is on."""
+    collector = _COLLECTOR
+    if collector is not None:
+        span = collector.current
+        if span is not None:
+            span.attrs.update(attrs)

@@ -1,0 +1,20 @@
+"""Shared fixtures for the observability tests.
+
+Tracing and metrics are process-local globals; every test here gets a
+guaranteed-clean slate and cannot leak an active collector/registry into
+unrelated tests.
+"""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs_trace.disable_tracing()
+    obs_metrics.disable_metrics()
+    yield
+    obs_trace.disable_tracing()
+    obs_metrics.disable_metrics()

@@ -1,0 +1,160 @@
+"""Tests for the Chrome-trace and Prometheus exporters (repro.obs.export)."""
+
+import json
+import math
+
+from repro.obs.export import (
+    chrome_trace_events,
+    chrome_trace_json,
+    prometheus_lines,
+    prometheus_text,
+    write_chrome_trace,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceCollector
+
+
+def make_collector():
+    collector = TraceCollector()
+    outer = collector.start_span("outer", {"method": "X"})
+    inner = collector.start_span("inner")
+    collector.end_span(inner)
+    collector.end_span(outer)
+    return collector
+
+
+def make_registry():
+    reg = MetricsRegistry()
+    reg.inc("repro_items_total", 3.0, status="ok")
+    reg.inc("repro_items_total", 1.0, status="error")
+    reg.set_gauge("repro_queue_wait_seconds", 0.25)
+    reg.observe("repro_op_seconds", 0.002)
+    reg.observe("repro_op_seconds", 123.0)  # +Inf bucket
+    return reg
+
+
+def parse_prom_sample(line):
+    """Split one exposition sample into (name, labels-dict, value)."""
+    metric, value = line.rsplit(" ", 1)
+    labels = {}
+    if "{" in metric:
+        name, rest = metric.split("{", 1)
+        body = rest.rstrip("}")
+        for pair in body.split(","):
+            key, raw = pair.split("=", 1)
+            assert raw.startswith('"') and raw.endswith('"'), line
+            labels[key] = raw[1:-1]
+    else:
+        name = metric
+    return name, labels, value
+
+
+class TestChromeTrace:
+    def test_events_shape(self):
+        events = chrome_trace_events(make_collector())
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+            assert event["pid"] == event["tid"]
+        outer = next(e for e in events if e["name"] == "outer")
+        inner = next(e for e in events if e["name"] == "inner")
+        assert outer["args"]["method"] == "X"
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+
+    def test_timestamps_relative_and_sorted(self):
+        events = chrome_trace_events(make_collector())
+        assert events[0]["ts"] == 0.0
+        assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+
+    def test_open_spans_are_skipped(self):
+        collector = TraceCollector()
+        collector.start_span("never-closed")
+        done = collector.start_span("done")
+        collector.end_span(done)
+        # snapshot() includes only stored (finished) spans, but guard the
+        # exporter against NaN ends in hand-built span dicts too
+        spans = collector.snapshot()
+        spans.append({"id": 99, "parent": None, "name": "open",
+                      "start": 0.0, "end": float("nan"), "attrs": {}, "pid": 0})
+        events = chrome_trace_events(spans)
+        assert [e["name"] for e in events] == ["done"]
+
+    def test_json_is_strict_array(self):
+        text = chrome_trace_json(make_collector())
+        payload = json.loads(text)
+        assert isinstance(payload, list) and len(payload) == 2
+
+    def test_write_round_trips(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), make_collector())
+        payload = json.loads(path.read_text())
+        assert [e["name"] for e in payload] == ["outer", "inner"]
+
+    def test_accepts_span_objects(self):
+        collector = make_collector()
+        events = chrome_trace_events(collector.spans)
+        assert len(events) == 2
+
+
+class TestPrometheus:
+    def test_every_line_parses(self):
+        for line in prometheus_lines(make_registry()):
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ")
+                assert kind in ("counter", "gauge", "histogram")
+                continue
+            name, labels, value = parse_prom_sample(line)
+            assert name
+            if value != "+Inf":
+                float(value)
+
+    def test_counter_and_gauge_values(self):
+        lines = prometheus_lines(make_registry())
+        assert 'repro_items_total{status="ok"} 3' in lines
+        assert 'repro_items_total{status="error"} 1' in lines
+        assert "repro_queue_wait_seconds 0.25" in lines
+
+    def test_histogram_is_cumulative_with_inf(self):
+        lines = prometheus_lines(make_registry())
+        buckets = [
+            parse_prom_sample(li)
+            for li in lines
+            if li.startswith("repro_op_seconds_bucket")
+        ]
+        counts = [int(v) for _, _, v in buckets]
+        assert counts == sorted(counts)  # cumulative
+        assert buckets[-1][1]["le"] == "+Inf"
+        assert counts[-1] == 2
+        assert "repro_op_seconds_count 2" in lines
+        (sum_line,) = [li for li in lines
+                       if li.startswith("repro_op_seconds_sum")]
+        assert math.isclose(float(sum_line.split(" ")[1]), 123.002)
+
+    def test_type_headers_precede_samples(self):
+        lines = prometheus_lines(make_registry())
+        seen_types = set()
+        for line in lines:
+            if line.startswith("# TYPE "):
+                seen_types.add(line.split(" ")[2])
+            else:
+                name = line.split("{")[0].split(" ")[0]
+                base = name
+                for suffix in ("_bucket", "_sum", "_count"):
+                    if name.endswith(suffix) and name[: -len(suffix)] in seen_types:
+                        base = name[: -len(suffix)]
+                        break
+                assert base in seen_types, line
+
+    def test_accepts_snapshot_dict(self):
+        snap = make_registry().snapshot()
+        assert prometheus_lines(snap) == prometheus_lines(make_registry())
+
+    def test_write_ends_with_newline(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(str(path), make_registry())
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text == prometheus_text(make_registry())

@@ -1,0 +1,263 @@
+"""End-to-end observability tests: instrumented pipeline, pool-boundary
+span/metric transfer, observe() sessions and the ``repro trace`` CLI."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.analysis import make_analyzer
+from repro.batch import BatchEngine, BatchItem
+from repro.cli import main
+from repro.curves import memo
+from repro.model import (
+    Job,
+    JobSet,
+    PeriodicArrivals,
+    System,
+    assign_priorities_proportional_deadline,
+)
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs import observe
+
+IS_FORK = multiprocessing.get_start_method() == "fork"
+
+
+def small_system(period=5.0):
+    jobs = [
+        Job.build("a", [("cpu", 1.0)], PeriodicArrivals(period), 10.0),
+        Job.build("b", [("cpu", 2.0)], PeriodicArrivals(1.2 * period), 12.0),
+    ]
+    sys_ = System(JobSet(jobs), "spp")
+    assign_priorities_proportional_deadline(sys_)
+    return sys_
+
+
+def span_names(collector):
+    return {s.name for s in collector.spans}
+
+
+class TestAnalyzerSpans:
+    def test_analyze_emits_span_tree(self):
+        collector = obs_trace.enable_tracing()
+        result = make_analyzer("SPP/Exact").analyze(small_system())
+        assert result.schedulable
+        names = span_names(collector)
+        assert {"analyze", "hop", "job"} <= names
+        analyze = next(s for s in collector.spans if s.name == "analyze")
+        assert analyze.attrs["method"] == "SPP/Exact"
+        assert analyze.attrs["schedulable"] is True
+        # hops/jobs nest under the analyze root
+        roots = [s for s in collector.spans if s.parent_id is None]
+        assert [r.name for r in roots] == ["analyze"]
+
+    def test_curve_detail_spans_gated(self):
+        with memo.curve_cache():
+            collector = obs_trace.enable_tracing(detail=False)
+            make_analyzer("SPP/Exact").analyze(small_system())
+            coarse = span_names(collector)
+            collector = obs_trace.enable_tracing(detail=True)
+            make_analyzer("SPP/Exact").analyze(small_system(4.0))
+            fine = span_names(collector)
+        assert not any(n.startswith("curve.") for n in coarse)
+        assert any(n.startswith("curve.") for n in fine)
+
+    def test_curve_cache_counters(self):
+        reg = obs_metrics.enable_metrics()
+        with memo.curve_cache():
+            make_analyzer("SPP/Exact").analyze(small_system())
+            make_analyzer("SPP/Exact").analyze(small_system())
+        assert reg.counter_value("repro_curve_cache_misses_total") > 0
+        assert reg.counter_value("repro_curve_cache_hits_total") > 0
+        assert "repro_curve_op_seconds" in reg.histograms
+
+    def test_disabled_analysis_matches_enabled(self):
+        plain = make_analyzer("Fixpoint/App").analyze(small_system())
+        obs_trace.enable_tracing(detail=True)
+        obs_metrics.enable_metrics()
+        traced = make_analyzer("Fixpoint/App").analyze(small_system())
+        assert traced.to_dict() == plain.to_dict()
+
+
+@pytest.mark.skipif(not IS_FORK, reason="pool tests assume fork start method")
+class TestPoolBoundary:
+    def test_worker_spans_merge_into_parent_trace(self):
+        collector = obs_trace.enable_tracing()
+        reg = obs_metrics.enable_metrics()
+        items = [
+            BatchItem(system=small_system(3.0 + i), item_id=f"s{i}")
+            for i in range(4)
+        ]
+        report = BatchEngine(n_workers=2, chunksize=2).run(items)
+        assert report.n_ok == 4
+        names = span_names(collector)
+        assert {"batch.run", "batch.item", "analyze", "hop", "job"} <= names
+
+        run_span = next(s for s in collector.spans if s.name == "batch.run")
+        item_spans = [s for s in collector.spans if s.name == "batch.item"]
+        assert len(item_spans) == 4
+        assert {s.attrs["item"] for s in item_spans} == {"s0", "s1", "s2", "s3"}
+        # worker sub-traces re-root under batch.run in the parent trace
+        assert all(s.parent_id == run_span.span_id for s in item_spans)
+        # spans crossed a real process boundary
+        pids = {s.pid for s in item_spans}
+        assert os.getpid() not in pids and len(pids) >= 1
+        # analyze spans stay children of their batch.item
+        item_ids = {s.span_id for s in item_spans}
+        analyze_spans = [s for s in collector.spans if s.name == "analyze"]
+        assert len(analyze_spans) == 4
+        assert all(s.parent_id in item_ids for s in analyze_spans)
+
+        # worker metrics merged; engine-level series recorded in the parent
+        assert reg.counter_value(
+            "repro_batch_items_total", status="ok", method="SPP/Exact"
+        ) == 4.0
+        assert reg.gauge_value("repro_batch_queue_wait_seconds") is not None
+        assert reg.counter_value("repro_curve_cache_misses_total") > 0
+
+    def test_item_records_carry_worker_observability(self):
+        obs_trace.enable_tracing()
+        obs_metrics.enable_metrics()
+        report = BatchEngine(n_workers=2, chunksize=1).run(
+            [
+                BatchItem(system=small_system(), item_id="only"),
+                BatchItem(system=small_system(4.0), item_id="other"),
+            ]
+        )
+        record = report[0]
+        assert record.trace and any(
+            s["name"] == "batch.item" for s in record.trace
+        )
+        assert record.metrics and "counters" in record.metrics
+        payload = json.dumps(record.to_dict(), allow_nan=False)
+        assert "batch.item" in payload
+
+    def test_no_capture_without_parent_obs(self):
+        report = BatchEngine(n_workers=2).run(
+            [BatchItem(system=small_system()), BatchItem(system=small_system(4.0))]
+        )
+        assert all(r.trace is None for r in report)
+        assert all(r.metrics is None for r in report)
+
+
+class TestObserveSession:
+    def test_writes_both_artifacts(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        prom_path = tmp_path / "metrics.prom"
+        with memo.curve_cache():
+            with observe(
+                trace_out=str(trace_path), metrics_out=str(prom_path)
+            ) as session:
+                make_analyzer("SPP/Exact").analyze(small_system())
+                assert session.enabled
+        events = json.loads(trace_path.read_text())
+        assert isinstance(events, list)
+        assert {e["name"] for e in events} >= {"analyze", "hop", "job"}
+        prom = prom_path.read_text().splitlines()
+        assert any(li.startswith("# TYPE ") for li in prom)
+        assert any(li.startswith("repro_curve_cache_") for li in prom)
+
+    def test_restores_prior_state_and_embed_block(self):
+        outer = obs_trace.enable_tracing()
+        with observe(force_trace=True, force_metrics=True) as session:
+            make_analyzer("Fixpoint/App").analyze(small_system())
+            block = session.embed_block()
+        assert obs_trace.active_collector() is outer
+        assert obs_metrics.active_metrics() is None
+        assert block["trace"] and block["metrics"]
+        json.dumps(block, allow_nan=False)  # embeddable in schema-v1 payloads
+
+    def test_disabled_session_is_passive(self):
+        with observe() as session:
+            assert not session.enabled
+            assert session.trace_events() == []
+            assert session.metrics_snapshot() == {}
+
+
+class TestCli:
+    @pytest.fixture()
+    def system_file(self, tmp_path):
+        data = {
+            "policies": {"cpu": "spp"},
+            "jobs": [
+                {
+                    "id": "a",
+                    "deadline": 10.0,
+                    "arrivals": {"type": "periodic", "period": 5.0},
+                    "route": [["cpu", 1.0]],
+                },
+                {
+                    "id": "b",
+                    "deadline": 12.0,
+                    "arrivals": {"type": "periodic", "period": 6.0},
+                    "route": [["cpu", 2.0]],
+                },
+            ],
+        }
+        path = tmp_path / "system.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_trace_command_writes_artifacts(self, tmp_path, system_file, capsys):
+        trace_path = tmp_path / "out.json"
+        prom_path = tmp_path / "out.prom"
+        code = main(
+            [
+                "trace",
+                system_file,
+                "--trace-out",
+                str(trace_path),
+                "--metrics-out",
+                str(prom_path),
+            ]
+        )
+        assert code == 0
+        events = json.loads(trace_path.read_text())
+        names = {e["name"] for e in events}
+        assert {"analyze", "hop", "job"} <= names
+        assert any(n.startswith("curve.") for n in names)  # detail default
+        assert any(
+            li.startswith("repro_curve_op_seconds_bucket")
+            for li in prom_path.read_text().splitlines()
+        )
+        err = capsys.readouterr().err
+        assert "spans" in err
+
+    def test_trace_embed_emits_observability_block(
+        self, tmp_path, system_file, capsys
+    ):
+        code = main(
+            [
+                "trace",
+                system_file,
+                "--embed",
+                "--trace-out",
+                str(tmp_path / "t.json"),
+                "--metrics-out",
+                str(tmp_path / "m.prom"),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["observability"]["trace"]
+        assert payload["observability"]["metrics"]["counters"]
+
+    def test_analyze_obs_flags(self, tmp_path, system_file):
+        trace_path = tmp_path / "a.json"
+        prom_path = tmp_path / "a.prom"
+        code = main(
+            [
+                "analyze",
+                system_file,
+                "--trace-out",
+                str(trace_path),
+                "--metrics-out",
+                str(prom_path),
+            ]
+        )
+        assert code == 0
+        assert json.loads(trace_path.read_text())
+        assert prom_path.read_text().strip()

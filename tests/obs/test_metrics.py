@@ -1,0 +1,153 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    active_metrics,
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+)
+
+
+class TestRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.inc("hits_total", op="sum")
+        reg.inc("hits_total", op="sum")
+        reg.inc("hits_total", op="min")
+        reg.inc("hits_total", 5.0)
+        assert reg.counter_value("hits_total", op="sum") == 2.0
+        assert reg.counter_value("hits_total", op="min") == 1.0
+        assert reg.counter_value("hits_total") == 8.0  # unlabeled sums all
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("c", a="1", b="2")
+        reg.inc("c", b="2", a="1")
+        assert reg.counter_value("c", a="1", b="2") == 2.0
+        assert len(reg.counters["c"]) == 1
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("queue_wait", 0.5)
+        reg.set_gauge("queue_wait", 0.2)
+        assert reg.gauge_value("queue_wait") == 0.2
+        assert reg.gauge_value("missing") is None
+
+    def test_histogram_buckets_and_totals(self):
+        reg = MetricsRegistry()
+        for value in (1e-6, 5e-4, 0.05, 2.0, 100.0):
+            reg.observe("op_seconds", value)
+        hist = reg.histograms["op_seconds"][""]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(102.050501, rel=1e-9)
+        # one value beyond the largest bound lands in the +Inf slot
+        assert hist.counts[-1] == 1
+        assert sum(hist.counts) == 5
+
+    def test_timer_observes_elapsed(self):
+        reg = MetricsRegistry()
+        with reg.timer("t_seconds", phase="x"):
+            pass
+        hist = reg.histograms["t_seconds"]['{phase="x"}']
+        assert hist.count == 1
+        assert hist.sum >= 0.0
+
+    def test_names_spans_all_families(self):
+        reg = MetricsRegistry()
+        reg.inc("a_total")
+        reg.set_gauge("b", 1.0)
+        reg.observe("c_seconds", 0.1)
+        assert reg.names() == ["a_total", "b", "c_seconds"]
+
+
+class TestSnapshotMerge:
+    def make_source(self):
+        reg = MetricsRegistry()
+        reg.inc("jobs_total", 3.0, status="ok")
+        reg.set_gauge("depth", 7.0)
+        reg.observe("lat_seconds", 0.01)
+        reg.observe("lat_seconds", 5.0)
+        return reg
+
+    def test_snapshot_is_json_safe(self):
+        snap = self.make_source().snapshot()
+        round_trip = json.loads(json.dumps(snap, allow_nan=False))
+        assert round_trip["counters"]["jobs_total"]['{status="ok"}'] == 3.0
+        assert round_trip["gauges"]["depth"][""] == 7.0
+        assert round_trip["histograms"]["lat_seconds"][""]["count"] == 2
+
+    def test_merge_counters_add_gauges_overwrite(self):
+        dst = self.make_source()
+        dst.set_gauge("depth", 1.0)
+        dst.merge(self.make_source().snapshot())
+        assert dst.counter_value("jobs_total", status="ok") == 6.0
+        assert dst.gauge_value("depth") == 7.0  # incoming value wins
+
+    def test_merge_histograms_add(self):
+        dst = self.make_source()
+        dst.merge(self.make_source().snapshot())
+        hist = dst.histograms["lat_seconds"][""]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(10.02)
+
+    def test_merge_into_empty_registry(self):
+        dst = MetricsRegistry()
+        dst.merge(self.make_source().snapshot())
+        assert dst.counter_value("jobs_total") == 3.0
+        hist = dst.histograms["lat_seconds"][""]
+        assert tuple(hist.bounds) == DEFAULT_BUCKETS
+        assert hist.count == 2
+
+    def test_merge_rejects_mismatched_buckets(self):
+        dst = self.make_source()
+        snap = self.make_source().snapshot()
+        snap["histograms"]["lat_seconds"][""]["bounds"] = [1.0, 2.0]
+        snap["histograms"]["lat_seconds"][""]["counts"] = [0, 1, 2]
+        with pytest.raises(ValueError):
+            dst.merge(snap)
+
+
+class TestModuleHelpers:
+    def test_disabled_helpers_are_noops(self):
+        assert not metrics_enabled()
+        obs_metrics.inc("x_total")
+        obs_metrics.set_gauge("g", 1.0)
+        obs_metrics.observe("h_seconds", 0.1)
+        with obs_metrics.timer("t_seconds"):
+            pass
+        assert active_metrics() is None
+
+    def test_enabled_helpers_hit_active_registry(self):
+        reg = enable_metrics()
+        obs_metrics.inc("x_total", status="ok")
+        obs_metrics.set_gauge("g", 2.5)
+        obs_metrics.observe("h_seconds", 0.2)
+        with obs_metrics.timer("t_seconds"):
+            pass
+        assert reg.counter_value("x_total", status="ok") == 1.0
+        assert reg.gauge_value("g") == 2.5
+        assert reg.histograms["h_seconds"][""].count == 1
+        assert reg.histograms["t_seconds"][""].count == 1
+
+    def test_disable_returns_registry(self):
+        reg = enable_metrics()
+        assert disable_metrics() is reg
+        assert not metrics_enabled()
+
+    def test_metrics_session_restores_prior_state(self):
+        from repro.obs import metrics_session
+
+        outer = enable_metrics()
+        with metrics_session() as inner:
+            assert active_metrics() is inner
+            obs_metrics.inc("scoped_total")
+        assert active_metrics() is outer
+        assert outer.counter_value("scoped_total") == 0.0
+        assert inner.counter_value("scoped_total") == 1.0

@@ -1,0 +1,224 @@
+"""Tests for the span/trace layer (repro.obs.trace)."""
+
+import json
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import (
+    TraceCollector,
+    active_collector,
+    detail_enabled,
+    disable_tracing,
+    enable_tracing,
+    set_span_attrs,
+    trace_span,
+    traced,
+    tracing,
+    tracing_enabled,
+)
+
+
+def spans_by_name(collector):
+    out = {}
+    for span in collector.spans:
+        out.setdefault(span.name, []).append(span)
+    return out
+
+
+class TestDisabledNoOp:
+    def test_trace_span_returns_shared_null_span(self):
+        assert not tracing_enabled()
+        handle = trace_span("anything", key="value")
+        assert handle is obs_trace._NULL_SPAN
+        assert trace_span("other") is handle  # one shared instance
+
+    def test_null_span_is_inert(self):
+        with trace_span("nope") as span:
+            span.set_attrs(ignored=1)
+        assert active_collector() is None
+
+    def test_set_span_attrs_noop(self):
+        set_span_attrs(ignored=True)  # must not raise
+
+    def test_traced_calls_through(self):
+        @traced("label")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert active_collector() is None
+
+    def test_detail_requires_collector(self):
+        assert not detail_enabled()
+        enable_tracing(detail=True)
+        assert detail_enabled()
+        disable_tracing()
+        assert not detail_enabled()
+
+
+class TestNesting:
+    def test_parent_child_linkage(self):
+        collector = enable_tracing()
+        with trace_span("outer", level=0):
+            with trace_span("inner", level=1):
+                with trace_span("leaf"):
+                    pass
+        by_name = spans_by_name(collector)
+        outer = by_name["outer"][0]
+        inner = by_name["inner"][0]
+        leaf = by_name["leaf"][0]
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert leaf.parent_id == inner.span_id
+        # innermost closes first
+        assert collector.spans.index(leaf) < collector.spans.index(outer)
+
+    def test_siblings_share_parent(self):
+        collector = enable_tracing()
+        with trace_span("parent"):
+            with trace_span("a"):
+                pass
+            with trace_span("b"):
+                pass
+        by_name = spans_by_name(collector)
+        parent = by_name["parent"][0]
+        assert by_name["a"][0].parent_id == parent.span_id
+        assert by_name["b"][0].parent_id == parent.span_id
+
+    def test_timestamps_are_ordered_and_finite(self):
+        collector = enable_tracing()
+        with trace_span("outer"):
+            with trace_span("inner"):
+                pass
+        outer = spans_by_name(collector)["outer"][0]
+        inner = spans_by_name(collector)["inner"][0]
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+        assert outer.duration >= 0.0
+
+    def test_exception_unwinds_cleanly(self):
+        collector = enable_tracing()
+        with pytest.raises(RuntimeError):
+            with trace_span("outer"):
+                with trace_span("inner"):
+                    raise RuntimeError("boom")
+        # both spans are closed despite the exception
+        assert collector.current is None
+        assert {s.name for s in collector.spans} == {"outer", "inner"}
+        assert all(s.duration >= 0.0 for s in collector.spans)
+
+
+class TestAttrs:
+    def test_initial_and_late_attrs(self):
+        collector = enable_tracing()
+        with trace_span("work", method="X") as span:
+            span.set_attrs(rounds=3, ok=True)
+        (span,) = collector.spans
+        assert span.attrs == {"method": "X", "rounds": 3, "ok": True}
+
+    def test_set_span_attrs_targets_innermost(self):
+        collector = enable_tracing()
+        with trace_span("outer"):
+            with trace_span("inner"):
+                set_span_attrs(tag="inner-only")
+        by_name = spans_by_name(collector)
+        assert by_name["inner"][0].attrs == {"tag": "inner-only"}
+        assert by_name["outer"][0].attrs == {}
+
+    def test_snapshot_is_strict_json(self):
+        collector = enable_tracing()
+        with trace_span("work", horizon=float("inf"), bad=float("nan"),
+                        obj=object()):
+            pass
+        payload = json.dumps(collector.snapshot(), allow_nan=False)
+        attrs = json.loads(payload)[0]["attrs"]
+        assert attrs["horizon"] == "inf"
+        assert attrs["bad"] == "nan"
+        assert isinstance(attrs["obj"], str)
+
+
+class TestCollector:
+    def test_record_retroactive_span(self):
+        import time
+
+        collector = enable_tracing()
+        t0 = time.perf_counter()
+        with trace_span("parent"):
+            collector.record("op", t0, 0.25, {"op": "sum"})
+        (op,) = [s for s in collector.spans if s.name == "op"]
+        parent = [s for s in collector.spans if s.name == "parent"][0]
+        assert op.parent_id == parent.span_id
+        assert op.duration == pytest.approx(0.25)
+
+    def test_max_spans_drops_not_grows(self):
+        collector = enable_tracing(max_spans=3)
+        for i in range(5):
+            with trace_span(f"s{i}"):
+                pass
+        assert len(collector.spans) == 3
+        assert collector.dropped == 2
+
+    def test_tracing_context_restores_prior_state(self):
+        outer_collector = enable_tracing()
+        with tracing() as inner_collector:
+            assert active_collector() is inner_collector
+            with trace_span("inner-span"):
+                pass
+        assert active_collector() is outer_collector
+        assert outer_collector.spans == []
+        assert len(inner_collector.spans) == 1
+
+    def test_traced_decorator_records(self):
+        collector = enable_tracing()
+
+        @traced(layer="math")
+        def double(x):
+            return 2 * x
+
+        assert double(4) == 8
+        (span,) = collector.spans
+        assert "double" in span.name
+        assert span.attrs == {"layer": "math"}
+
+
+class TestIngest:
+    def make_snapshot(self):
+        """A finished sub-trace, as another process would produce it."""
+        other = TraceCollector()
+        root = other.start_span("child.root", {"who": "worker"})
+        kid = other.start_span("child.leaf")
+        other.end_span(kid)
+        other.end_span(root)
+        return other.snapshot()
+
+    def test_ingest_remaps_ids_and_reroots(self):
+        collector = enable_tracing()
+        with trace_span("parent"):
+            collector.ingest(self.make_snapshot())
+        by_name = spans_by_name(collector)
+        parent = by_name["parent"][0]
+        root = by_name["child.root"][0]
+        leaf = by_name["child.leaf"][0]
+        # sub-trace root hangs off the open span; internal links survive
+        assert root.parent_id == parent.span_id
+        assert leaf.parent_id == root.span_id
+        assert root.attrs == {"who": "worker"}
+        # remapped ids are unique within the collector
+        ids = [s.span_id for s in collector.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_ingest_explicit_parent(self):
+        collector = enable_tracing()
+        with trace_span("anchor"):
+            pass
+        anchor_id = collector.spans[0].span_id
+        collector.ingest(self.make_snapshot(), parent_id=anchor_id)
+        root = spans_by_name(collector)["child.root"][0]
+        assert root.parent_id == anchor_id
+
+    def test_ingest_without_parent_keeps_roots(self):
+        collector = enable_tracing()
+        collector.ingest(self.make_snapshot())
+        root = spans_by_name(collector)["child.root"][0]
+        assert root.parent_id is None
