@@ -3,7 +3,19 @@
 These cover the numerical core every analysis is built on: the service
 transform (Theorems 3/5/6/7), curve sums, the pseudo-inverse, and the
 FCFS utilization/service pipeline, at increasing breakpoint counts.
+
+Standalone mode (``python benchmarks/bench_curves.py --json``) times the
+kernels on exact vs compacted inputs, records compaction in/out
+breakpoint counts and certified deviations, and writes
+``BENCH_curves.json`` at the repository root.
 """
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -86,3 +98,108 @@ def test_min_curves_bench(benchmark):
     b = Curve([0.0], [0.0], final_slope=0.35)
     m = benchmark(min_curves, a, b)
     assert m.dominates(Curve.zero())
+
+
+# ----------------------------------------------------------------------
+# Standalone kernel benchmark (--json)
+# ----------------------------------------------------------------------
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _median_time(fn, repeats: int) -> float:
+    times_s = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times_s.append(time.perf_counter() - t0)
+    return statistics.median(times_s)
+
+
+def run_kernel_benchmark(repeats: int = 5, budget: int = 64):
+    from repro.curves.compact import compact, max_deviation
+    from repro.curves.memo import curve_cache
+
+    sizes = [1000, 10000]
+    kernels = {}
+    for n in sizes:
+        c = periodic_workload(n)
+        horizon = float(n + 10)
+        cu_step = compact(c, "upper", budget=budget)
+        cu_lin = compact(c, "upper", budget=budget, shape="linear")
+        kernels[f"service_transform_n{n}"] = {
+            "exact_s": _median_time(
+                lambda: service_transform(Curve.identity(), c, 0.0, horizon),
+                repeats,
+            ),
+            "compacted_s": _median_time(
+                lambda: service_transform(
+                    Curve.identity(), cu_step, 0.0, horizon
+                ),
+                repeats,
+            ),
+            "breakpoints_in": int(c.x.size),
+            "breakpoints_out_step": int(cu_step.x.size),
+            "breakpoints_out_linear": int(cu_lin.x.size),
+            "deviation_step": max_deviation(cu_step, c, horizon),
+            "deviation_linear": max_deviation(cu_lin, c, horizon),
+        }
+        kernels[f"compact_n{n}"] = {
+            "step_s": _median_time(
+                lambda: compact(c, "upper", budget=budget), repeats
+            ),
+            "linear_s": _median_time(
+                lambda: compact(c, "upper", budget=budget, shape="linear"),
+                repeats,
+            ),
+        }
+
+    curves = [periodic_workload(2000, period=1.0 + 0.01 * i) for i in range(16)]
+    compacted = [compact(c, "upper", budget=budget, shape="linear")
+                 for c in curves]
+    kernels["sum_curves_16x2000"] = {
+        "exact_s": _median_time(lambda: sum_curves(curves), repeats),
+        "compacted_s": _median_time(lambda: sum_curves(compacted), repeats),
+    }
+
+    with curve_cache() as cache:
+        for _ in range(3):
+            c = periodic_workload(5000)
+            compact(c, "upper", budget=budget, shape="linear")
+        cache_stats = cache.stats().to_dict()
+
+    return {
+        "compact_budget": budget,
+        "repeats": repeats,
+        "kernels": kernels,
+        "compaction_cache": cache_stats,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Curve-kernel micro-benchmark (exact vs compacted inputs)"
+    )
+    parser.add_argument("--json", action="store_true",
+                        help="write BENCH_curves.json at the repo root")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--budget", type=int, default=64)
+    args = parser.parse_args(argv)
+
+    report = run_kernel_benchmark(repeats=args.repeats, budget=args.budget)
+    for name, row in report["kernels"].items():
+        fields = ", ".join(
+            f"{k}={v:.5f}s" if k.endswith("_s") else f"{k}={v}"
+            for k, v in row.items()
+            if not isinstance(v, dict)
+        )
+        print(f"{name}: {fields}")
+    if args.json:
+        out = REPO_ROOT / "BENCH_curves.json"
+        out.write_text(json.dumps(report, indent=2, default=str) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

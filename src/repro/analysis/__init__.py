@@ -29,6 +29,7 @@ from .compositional import (
 from .fixpoint import FixpointAnalysis
 from .holistic import HolisticSPPAnalysis
 from .horizon import HorizonConfig, initial_horizon, run_adaptive
+from .options import AnalysisOptions
 from .spp_exact import SppExactAnalysis
 from .stationary import StationaryAnalysis
 
@@ -48,6 +49,7 @@ __all__ = [
     "EndToEndResult",
     "SubjobResult",
     "dependency_order",
+    "AnalysisOptions",
     "HorizonConfig",
     "initial_horizon",
     "run_adaptive",

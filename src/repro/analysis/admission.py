@@ -13,6 +13,7 @@ from typing import Optional
 
 from ..model.system import System
 from .base import AnalysisResult, Analyzer
+from .options import AnalysisOptions
 from .compositional import (
     CompositionalAnalysis,
     FcfsApproxAnalysis,
@@ -40,13 +41,19 @@ METHODS = {
 }
 
 
-def make_analyzer(method: str, horizon: Optional[HorizonConfig] = None) -> Analyzer:
+def make_analyzer(
+    method: str,
+    horizon: Optional[HorizonConfig] = None,
+    options: Optional[AnalysisOptions] = None,
+) -> Analyzer:
     """Instantiate an analyzer by its paper name (see :data:`METHODS`).
 
     Every registered class satisfies the :class:`~repro.analysis.base.
     Analyzer` protocol and accepts an optional horizon configuration as
-    its first constructor argument, so no per-class special-casing is
-    needed here (or in any other registry consumer).
+    its first constructor argument plus an ``options`` keyword, so no
+    per-class special-casing is needed here (or in any other registry
+    consumer).  Methods that cannot soundly apply an option ignore it
+    (SPP/Exact records a diagnostic when compaction was requested).
     """
     try:
         cls = METHODS[method]
@@ -54,22 +61,24 @@ def make_analyzer(method: str, horizon: Optional[HorizonConfig] = None) -> Analy
         raise ValueError(
             f"unknown method {method!r}; choose from {sorted(METHODS)}"
         ) from None
-    return cls(horizon)
+    return cls(horizon, options=options)
 
 
 def analyze(
     system: System,
     method: str = "SPP/Exact",
     horizon: Optional[HorizonConfig] = None,
+    options: Optional[AnalysisOptions] = None,
 ) -> AnalysisResult:
     """Analyze a system with the named method and return the full result."""
-    return make_analyzer(method, horizon).analyze(system)
+    return make_analyzer(method, horizon, options=options).analyze(system)
 
 
 def is_schedulable(
     system: System,
     method: str = "SPP/Exact",
     horizon: Optional[HorizonConfig] = None,
+    options: Optional[AnalysisOptions] = None,
 ) -> bool:
     """True if every job's response-time bound meets its deadline."""
-    return analyze(system, method, horizon).schedulable
+    return analyze(system, method, horizon, options=options).schedulable

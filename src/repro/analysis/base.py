@@ -122,7 +122,8 @@ class EndToEndResult:
 
     @property
     def meets_deadline(self) -> bool:
-        return self.wcrt <= self.deadline + 1e-9
+        # bool() so numpy scalars never leak into strict-JSON payloads
+        return bool(self.wcrt <= self.deadline + 1e-9)
 
     @property
     def slack(self) -> float:
@@ -197,9 +198,9 @@ class AnalysisResult:
             "schema": RESULT_SCHEMA_VERSION,
             "method": self.method,
             "horizon": _json_float(self.horizon),
-            "drained": self.drained,
-            "converged": self.converged,
-            "rounds": self.rounds,
+            "drained": bool(self.drained),
+            "converged": bool(self.converged),
+            "rounds": int(self.rounds),
             "schedulable": self.schedulable,
             "jobs": {
                 job_id: {
@@ -207,7 +208,7 @@ class AnalysisResult:
                     "wcrt": _json_float(r.wcrt),
                     "slack": _json_float(r.slack),
                     "meets_deadline": r.meets_deadline,
-                    "n_instances": r.n_instances,
+                    "n_instances": int(r.n_instances),
                 }
                 for job_id, r in sorted(self.jobs.items())
             },

@@ -51,6 +51,7 @@ from .hopbounds import (
     visible_step,
 )
 from .horizon import HorizonConfig, run_adaptive
+from .options import AnalysisOptions
 from .spp_exact import _overloaded_result
 
 __all__ = [
@@ -105,6 +106,13 @@ class CompositionalAnalysis:
         experiments).
     keep_curves:
         Retain per-hop envelopes in the result for inspection.
+    options:
+        Performance options (:class:`~repro.analysis.options.
+        AnalysisOptions`).  With compaction enabled, every max-count
+        envelope is compacted upward and every min-count envelope
+        downward before entering the hop-bound formulas, which can only
+        loosen (never undercut) the departure bounds; ``None`` keeps the
+        exact envelopes.
     """
 
     def __init__(
@@ -112,10 +120,12 @@ class CompositionalAnalysis:
         horizon: Optional[HorizonConfig] = None,
         force_policy: Optional[SchedulingPolicy] = None,
         keep_curves: bool = False,
+        options: Optional[AnalysisOptions] = None,
     ) -> None:
         self.horizon = horizon or HorizonConfig()
         self.force_policy = force_policy
         self.keep_curves = keep_curves
+        self.options = options
 
     @property
     def name(self) -> str:
@@ -202,11 +212,26 @@ class CompositionalAnalysis:
                 return rel, rel + jitter if jitter > 0 else rel
             return early[s.key], late[s.key]
 
+        opts = self.options
+
         def curves_of(s: SubJob) -> Tuple[Curve, Curve]:
             if s.key not in c_early:
                 e, l = envelopes_of(s)
-                c_early[s.key] = visible_step(e, s.wcet, h)
-                c_late[s.key] = visible_step(l, s.wcet, h)
+                ce = visible_step(e, s.wcet, h)
+                cl = visible_step(l, s.wcet, h)
+                if opts is not None:
+                    # max-count envelopes err upward, min-count downward:
+                    # both directions only add interference pessimism.
+                    # Min-count curves on FCFS processors feed the
+                    # step-only fcfs_utilization kernel via total_late.
+                    fcfs = (
+                        self._policy(system, s.processor)
+                        == SchedulingPolicy.FCFS
+                    )
+                    ce = opts.cap_upper(ce)
+                    cl = opts.cap_lower(cl, require_step=fcfs)
+                c_early[s.key] = ce
+                c_late[s.key] = cl
             return c_early[s.key], c_late[s.key]
 
         for sub in order:
@@ -226,9 +251,17 @@ class CompositionalAnalysis:
 
                 if policy == SchedulingPolicy.FCFS:
                     if sub.processor not in u_lo_cache:
+                        total_late = sum_curves(
+                            [curves_of(s)[1] for s in peers]
+                        )
+                        if opts is not None:
+                            # A smaller min-count total means less certified
+                            # service, so U_lo only drops: sound direction.
+                            total_late = opts.cap_lower(
+                                total_late, require_step=True
+                            )
                         u_lo_cache[sub.processor] = fcfs_utilization(
-                            sum_curves([curves_of(s)[1] for s in peers]),
-                            t_end=h,
+                            total_late, t_end=h
                         )
                     others = [curves_of(s)[0] for s in peers if s.key != key]
                     dep_ub = fcfs_departure_bound(
@@ -249,6 +282,7 @@ class CompositionalAnalysis:
                         sub.wcet,
                         lag,
                         h,
+                        options=opts,
                     )
 
                 n = env_early.size

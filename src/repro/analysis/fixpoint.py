@@ -27,12 +27,13 @@ intermediate result is a valid bound.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
 from ..curves import Curve, fcfs_utilization, sum_curves
 from ..model.system import SchedulingPolicy, System
+from ..obs.metrics import inc as _metric_inc
 from ..obs.trace import trace_span
 from .base import AnalysisResult, EndToEndResult
 from .compositional import blocking_time
@@ -43,19 +44,32 @@ from .hopbounds import (
     visible_step,
 )
 from .horizon import HorizonConfig, run_adaptive
+from .options import AnalysisOptions
 from .spp_exact import _overloaded_result
 
 __all__ = ["FixpointAnalysis"]
 
 Key = Tuple[str, int]
 
+#: Convergence tolerances for the per-job delay sums: two iterates agree
+#: when their difference is within ``abs_tol + rel_tol * magnitude``.  A
+#: purely absolute check mis-declares convergence for systems with very
+#: large delay magnitudes (where double-precision spacing exceeds the
+#: tolerance, so sums can never agree to 1e-9) and is needlessly strict
+#: for tiny ones; the combined form is scale-free.
+_REL_TOL = 1e-9
+_ABS_TOL = 1e-9
+
 
 def _totals_close(a: Dict[str, float], b: Dict[str, float]) -> bool:
-    """Finite, per-job agreement of two delay-sum vectors within 1e-9."""
-    return all(
-        math.isfinite(a[j]) and math.isfinite(b[j]) and abs(a[j] - b[j]) <= 1e-9
-        for j in a
-    )
+    """Finite, per-job agreement of two delay-sum vectors (rel+abs tol)."""
+    for j in a:
+        x, y = a[j], b[j]
+        if not (math.isfinite(x) and math.isfinite(y)):
+            return False
+        if abs(x - y) > _ABS_TOL + _REL_TOL * max(abs(x), abs(y)):
+            return False
+    return True
 
 
 class FixpointAnalysis:
@@ -75,6 +89,25 @@ class FixpointAnalysis:
     force_policy:
         Analyze every processor under this policy (as the paper's uniform
         experiments do); default honors each processor's own policy.
+    options:
+        Performance options.  Compaction (if enabled) is applied to the
+        per-sweep workload curves exactly as in
+        :class:`~repro.analysis.compositional.CompositionalAnalysis`;
+        additionally ``options.warm_start`` seeds each doubled horizon's
+        iteration from the previous horizon's envelopes.  Warm-starting
+        is sound because every envelope value the iteration produces is
+        itself a valid bound: a finite latest-departure ``late_m <= h``
+        proven for the ``h``-truncated system holds for any larger
+        horizon by causality (work released after ``h`` cannot influence
+        the schedule before ``h``), and earliest-arrival envelopes are
+        derived horizon-independently from pass-through floors.  With
+        ``options=None`` (the default) every horizon cold-starts, which
+        reproduces the pre-options iteration trajectory bit for bit.
+    dirty_skip:
+        Skip re-bounding hops whose input envelopes did not change since
+        the previous sweep (detected by array identity, so skipped hops
+        reproduce byte-identical outputs by construction).  On by
+        default; the switch exists for the equivalence regression test.
     """
 
     name = "Fixpoint/App"
@@ -85,10 +118,14 @@ class FixpointAnalysis:
         horizon: Optional[HorizonConfig] = None,
         max_iterations: int = 25,
         force_policy: Optional[SchedulingPolicy] = None,
+        options: Optional[AnalysisOptions] = None,
+        dirty_skip: bool = True,
     ) -> None:
         self.horizon = horizon or HorizonConfig()
         self.max_iterations = max_iterations
         self.force_policy = force_policy
+        self.options = options
+        self.dirty_skip = dirty_skip
 
     @property
     def policy(self) -> Optional[SchedulingPolicy]:
@@ -109,8 +146,15 @@ class FixpointAnalysis:
         if system.max_utilization() > self.horizon.utilization_guard:
             return _overloaded_result(system, self.method)
 
+        # Warm-start carry: converged envelopes of the previous (smaller)
+        # horizon, reused as initial iterates for the next round.
+        carry: Dict[str, Dict[Key, np.ndarray]] = {}
+        warm = self.options is not None and self.options.warm_start
+
         def analyze_once(h: float, report: float):
-            return self._analyze_horizon(system, h, report)
+            return self._analyze_horizon(
+                system, h, report, carry if warm else None
+            )
 
         with trace_span(
             "analyze", method=self.method, n_jobs=len(list(system.jobs))
@@ -126,7 +170,11 @@ class FixpointAnalysis:
     # ------------------------------------------------------------------
 
     def _analyze_horizon(
-        self, system: System, h: float, report: float
+        self,
+        system: System,
+        h: float,
+        report: float,
+        carry: Optional[Dict[str, Dict[Key, np.ndarray]]] = None,
     ) -> Tuple[AnalysisResult, bool]:
         job_set = system.job_set
         subs = job_set.all_subjobs()
@@ -152,6 +200,54 @@ class FixpointAnalysis:
                 )
                 acc = acc + sub.wcet
 
+        # Warm start: tighten the initial iterate with the previous
+        # (smaller) horizon's envelopes.  Release prefixes agree across
+        # horizons, so instance m is the same instance in both rounds;
+        # every carried value is itself a sound bound (see class docs),
+        # and min/max keep whichever side is tighter.
+        if carry:
+            for key, prev in carry["late"].items():
+                cur = late.get(key)
+                if cur is not None and prev.size:
+                    m = min(cur.size, prev.size)
+                    np.minimum(cur[:m], prev[:m], out=cur[:m])
+            for key, prev in carry["early"].items():
+                cur = early.get(key)
+                if cur is not None and prev.size:
+                    m = min(cur.size, prev.size)
+                    np.maximum(cur[:m], prev[:m], out=cur[:m])
+
+        # Dirty-set sweep state: which envelope keys each hop reads, the
+        # per-processor peer sets (for utilization-curve invalidation),
+        # and caches carried across sweeps.  ``changed=None`` marks the
+        # first sweep, where everything is dirty.
+        deps: Dict[Key, frozenset] = {}
+        proc_keys: Dict[Hashable, frozenset] = {}
+        for sub in subs:
+            peers = job_set.subjobs_on(sub.processor)
+            if sub.processor not in proc_keys:
+                proc_keys[sub.processor] = frozenset(s.key for s in peers)
+            if self._policy(system, sub.processor) == SchedulingPolicy.FCFS:
+                d = {s.key for s in peers}
+            else:
+                d = {
+                    s.key
+                    for s in peers
+                    if s.key != sub.key and s.priority < sub.priority
+                }
+            d.add(sub.key)
+            deps[sub.key] = frozenset(d)
+        state: Dict[str, Any] = {
+            "changed": None,
+            "deps": deps,
+            "proc_keys": proc_keys,
+            "c_early": {},
+            "c_late": {},
+            "u_lo": {},
+            "delays": {},
+            "hop_ok": {},
+        }
+
         prev_totals: Optional[Dict[str, float]] = None
         prev_prev_totals: Optional[Dict[str, float]] = None
         diagnostics = []
@@ -159,14 +255,14 @@ class FixpointAnalysis:
         hop_ok: Dict[Key, bool] = {}
         for sweep in range(self.max_iterations):
             with trace_span("fixpoint.sweep", sweep=sweep + 1, horizon=h) as span:
-                delays, hop_ok = self._sweep_once(
-                    system, subs, h, n_analyzed, early, late
+                delays, hop_ok, skipped = self._sweep_once(
+                    system, subs, h, n_analyzed, early, late, state
                 )
                 totals = {
                     job.job_id: sum(delays[s.key] for s in job.subjobs)
                     for job in job_set
                 }
-                span.set_attrs(bounded=all(hop_ok.values()))
+                span.set_attrs(bounded=all(hop_ok.values()), skipped=skipped)
             # Converged only when every bound is finite and stable: an
             # infinite total may still be propagating through the loop
             # (each sweep resolves one more hop of a cyclic chain).
@@ -212,6 +308,12 @@ class FixpointAnalysis:
                 }
             )
 
+        if carry is not None:
+            # Every iterate is sound, converged or not, so the envelopes
+            # are always safe to reuse as the next round's seed.
+            carry["early"] = dict(early)
+            carry["late"] = dict(late)
+
         result = AnalysisResult(
             method=self.method, horizon=h, drained=False, converged=False
         )
@@ -239,24 +341,73 @@ class FixpointAnalysis:
         n_analyzed: Dict[str, int],
         early: Dict[Key, np.ndarray],
         late: Dict[Key, np.ndarray],
-    ) -> Tuple[Dict[Key, float], Dict[Key, bool]]:
-        """One Kleene sweep: re-bound every hop, tighten envelopes in place."""
+        state: Dict[str, Any],
+    ) -> Tuple[Dict[Key, float], Dict[Key, bool], int]:
+        """One Kleene sweep: re-bound dirty hops, tighten envelopes in place.
+
+        A hop is *dirty* when any envelope it reads (its own, or a
+        same-processor interferer's) changed values in the previous
+        sweep.  Clean hops are skipped outright: their inputs are
+        value-identical, so re-running the deterministic bound
+        computation would reproduce the cached ``delays``/``hop_ok``
+        entries and the (idempotent) next-hop tightening byte for byte.
+        """
         job_set = system.job_set
-        c_early = {s.key: visible_step(early[s.key], s.wcet, h) for s in subs}
-        c_late = {s.key: visible_step(late[s.key], s.wcet, h) for s in subs}
-        u_lo_cache: Dict[Hashable, Curve] = {}
+        opts = self.options
+        changed_prev: Optional[set] = state["changed"]
+        c_early: Dict[Key, Curve] = state["c_early"]
+        c_late: Dict[Key, Curve] = state["c_late"]
+        for s in subs:
+            k = s.key
+            if changed_prev is None or k in changed_prev:
+                ce = visible_step(early[k], s.wcet, h)
+                cl = visible_step(late[k], s.wcet, h)
+                if opts is not None:
+                    # Min-count curves on FCFS processors feed the
+                    # step-only fcfs_utilization kernel via total_late.
+                    fcfs = (
+                        self._policy(system, s.processor)
+                        == SchedulingPolicy.FCFS
+                    )
+                    ce = opts.cap_upper(ce)
+                    cl = opts.cap_lower(cl, require_step=fcfs)
+                c_early[k] = ce
+                c_late[k] = cl
+        u_lo_cache: Dict[Hashable, Curve] = state["u_lo"]
+        if changed_prev is None:
+            u_lo_cache.clear()
+        else:
+            for proc in [
+                p
+                for p, keys in state["proc_keys"].items()
+                if p in u_lo_cache and keys & changed_prev
+            ]:
+                del u_lo_cache[proc]
         new_early: Dict[Key, np.ndarray] = {}
         new_late: Dict[Key, np.ndarray] = {}
-        delays: Dict[Key, float] = {}
-        hop_ok: Dict[Key, bool] = {}
+        delays: Dict[Key, float] = state["delays"]
+        hop_ok: Dict[Key, bool] = state["hop_ok"]
+        skipped = 0
         for sub in subs:
             key = sub.key
+            if (
+                self.dirty_skip
+                and changed_prev is not None
+                and not (state["deps"][key] & changed_prev)
+            ):
+                skipped += 1
+                continue
             peers = job_set.subjobs_on(sub.processor)
             policy = self._policy(system, sub.processor)
             if policy == SchedulingPolicy.FCFS:
                 if sub.processor not in u_lo_cache:
+                    total_late = sum_curves([c_late[s.key] for s in peers])
+                    if opts is not None:
+                        total_late = opts.cap_lower(
+                            total_late, require_step=True
+                        )
                     u_lo_cache[sub.processor] = fcfs_utilization(
-                        sum_curves([c_late[s.key] for s in peers]), t_end=h
+                        total_late, t_end=h
                     )
                 dep_ub = fcfs_departure_bound(
                     [c_early[s.key] for s in peers if s.key != key],
@@ -279,6 +430,7 @@ class FixpointAnalysis:
                     sub.wcet,
                     lag,
                     h,
+                    options=opts,
                 )
             n = early[key].size
             m_rep = min(n, n_analyzed[key[0]])
@@ -298,9 +450,17 @@ class FixpointAnalysis:
             nxt = (key[0], key[1] + 1)
             if nxt in early:
                 # Tighten monotonically: later earliest-arrivals,
-                # earlier latest-departures.
-                new_early[nxt] = np.maximum(arr_next, early[nxt])
-                new_late[nxt] = np.minimum(dep_ub, late[nxt])
+                # earlier latest-departures.  Only value changes are
+                # installed, so the dirty set tracks real movement.
+                tightened = np.maximum(arr_next, early[nxt])
+                if not np.array_equal(tightened, early[nxt]):
+                    new_early[nxt] = tightened
+                tightened = np.minimum(dep_ub, late[nxt])
+                if not np.array_equal(tightened, late[nxt]):
+                    new_late[nxt] = tightened
         early.update(new_early)
         late.update(new_late)
-        return delays, hop_ok
+        state["changed"] = set(new_early) | set(new_late)
+        if skipped:
+            _metric_inc("repro_fixpoint_hops_skipped_total", float(skipped))
+        return delays, hop_ok, skipped

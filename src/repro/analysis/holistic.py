@@ -69,9 +69,13 @@ class HolisticSPPAnalysis:
         horizon=None,
         max_sweeps: int = 200,
         divergence_factor: float = 50.0,
+        options=None,
     ) -> None:
         self.max_sweeps = max_sweeps
         self.divergence_factor = divergence_factor
+        # Accepted for registry uniformity; the holistic iteration works
+        # on scalar jitter/response values, there are no curves to compact.
+        self.options = options
 
     def analyze(self, system: System) -> AnalysisResult:
         with trace_span(

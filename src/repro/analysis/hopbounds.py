@@ -40,11 +40,12 @@ than a processor entirely dedicated to it).
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..curves import Curve, identity_minus, sum_curves
+from .options import AnalysisOptions
 
 __all__ = [
     "visible_step",
@@ -112,6 +113,7 @@ def priority_departure_bound(
     wcet: float,
     blocking: float,
     horizon: float,
+    options: Optional[AnalysisOptions] = None,
 ) -> np.ndarray:
     """Busy-window departure upper bounds under SPP/SPNP.
 
@@ -126,14 +128,23 @@ def priority_departure_bound(
         Per-instance latest arrival times of the analyzed subjob.
     blocking:
         ``b_{k,j}`` of Eq. 15 for SPNP; zero for preemptive SPP.
+    options:
+        When compaction is enabled, the summed interference totals are
+        compacted before the pseudo-inverses -- the max-count total
+        upward and the min-count total downward, which can only *raise*
+        the departure bound (``V`` shrinks, ``Wmax`` grows), so the
+        result stays a sound upper bound.
     """
     n = late_arrivals.size
     if n == 0:
         return late_arrivals
-    v_curve = identity_minus(sum_curves(list(early_hp)), mode="lower")
-    w_curve = identity_minus(
-        sum_curves(list(late_hp) + [late_own]), mode="upper"
-    )
+    total_early = sum_curves(list(early_hp))
+    total_late = sum_curves(list(late_hp) + [late_own])
+    if options is not None:
+        total_early = options.cap_upper(total_early)
+        total_late = options.cap_lower(total_late)
+    v_curve = identity_minus(total_early, mode="lower")
+    w_curve = identity_minus(total_late, mode="upper")
     finite = np.isfinite(late_arrivals)
     w_at = np.full(n, math.inf)
     if np.any(finite):

@@ -1,0 +1,99 @@
+"""Cross-analyzer performance options.
+
+:class:`AnalysisOptions` bundles the knobs of the performance layer --
+sound curve compaction (:mod:`repro.curves.compact`) and horizon
+warm-starting -- so they can be threaded uniformly through
+:func:`~repro.analysis.admission.make_analyzer`, the batch engine, and
+the CLI without changing any analyzer's positional signature.
+
+The default for every analyzer is ``options=None``, which is the exact
+pre-layer behavior (no compaction, cold-started horizons); passing
+``AnalysisOptions()`` enables only the lossless warm-start, and setting
+``compact_budget``/``compact_max_error`` additionally trades bound
+tightness for speed in a certified direction (bounds stay sound, they
+only get looser).  Exact analyses ignore compaction entirely; see
+``docs/performance.md`` for guidance on choosing budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..curves.compact import MIN_BUDGET, compact
+from ..curves.curve import Curve
+
+__all__ = ["AnalysisOptions"]
+
+
+@dataclass(frozen=True)
+class AnalysisOptions:
+    """Performance knobs shared by all horizon-based analyzers."""
+
+    #: Max breakpoints per compacted envelope (``None`` disables
+    #: compaction in ``"budget"`` mode).  Must be >= ``MIN_BUDGET``.
+    compact_budget: Optional[int] = None
+    #: ``"budget"`` caps breakpoint counts at ``compact_budget``;
+    #: ``"error"`` instead bounds the certified vertical deviation by
+    #: ``compact_max_error`` and lets the breakpoint count float.
+    compact_mode: str = "budget"
+    #: Certified vertical error bound for ``compact_mode="error"``.
+    compact_max_error: Optional[float] = None
+    #: Seed each doubled horizon's fixpoint iteration from the previous
+    #: horizon's envelopes (lossless: every seeded value is itself a
+    #: sound bound; see ``FixpointAnalysis``).
+    warm_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.compact_mode not in ("budget", "error"):
+            raise ValueError(
+                f"compact_mode must be 'budget' or 'error', "
+                f"got {self.compact_mode!r}"
+            )
+        if self.compact_budget is not None and self.compact_budget < MIN_BUDGET:
+            raise ValueError(
+                f"compact_budget must be >= {MIN_BUDGET}, "
+                f"got {self.compact_budget}"
+            )
+        if self.compact_max_error is not None and self.compact_max_error <= 0:
+            raise ValueError(
+                f"compact_max_error must be positive, "
+                f"got {self.compact_max_error}"
+            )
+        if self.compact_mode == "error" and self.compact_max_error is None:
+            raise ValueError(
+                "compact_mode='error' requires compact_max_error"
+            )
+
+    @property
+    def compaction_enabled(self) -> bool:
+        if self.compact_mode == "error":
+            return self.compact_max_error is not None
+        return self.compact_budget is not None
+
+    def cap(self, curve: Curve, direction: str, require_step: bool = False) -> Curve:
+        """Compact ``curve`` in the certified ``direction`` if enabled.
+
+        ``require_step=True`` forces the step-preserving shape; callers
+        must set it whenever the result feeds a step-only kernel
+        (``service_transform`` / ``fcfs_utilization``).  Otherwise budget
+        mode uses the chord (``"linear"``) shape, whose certified error
+        tracks the curve's burstiness instead of scaling with the
+        analysis horizon.  Error mode is always step-shaped: its
+        per-span error certificate is the span rise, which has no linear
+        counterpart with adaptive breakpoint counts.
+        """
+        if not self.compaction_enabled:
+            return curve
+        if self.compact_mode == "error":
+            return compact(curve, direction, max_error=self.compact_max_error)
+        shape = "step" if require_step else "linear"
+        return compact(curve, direction, budget=self.compact_budget, shape=shape)
+
+    def cap_upper(self, curve: Curve, require_step: bool = False) -> Curve:
+        """Compact an upper-bound envelope upward (result dominates it)."""
+        return self.cap(curve, "upper", require_step=require_step)
+
+    def cap_lower(self, curve: Curve, require_step: bool = False) -> Curve:
+        """Compact a lower-bound envelope downward (result stays below)."""
+        return self.cap(curve, "lower", require_step=require_step)

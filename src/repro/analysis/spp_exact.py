@@ -39,6 +39,7 @@ from .base import (
     dependency_order,
 )
 from .horizon import HorizonConfig, run_adaptive
+from .options import AnalysisOptions
 
 __all__ = ["SppExactAnalysis"]
 
@@ -78,9 +79,17 @@ class SppExactAnalysis:
         self,
         horizon: Optional[HorizonConfig] = None,
         keep_curves: bool = False,
+        options: Optional[AnalysisOptions] = None,
     ) -> None:
         self.horizon = horizon or HorizonConfig()
         self.keep_curves = keep_curves
+        # Curve compaction is deliberately NOT applied here: the exact
+        # cascade feeds each hop's completion times forward as exact
+        # arrivals, so a perturbed intermediate is no longer certified in
+        # either direction.  The option is accepted (so the registry can
+        # thread one set of options through every method) but ignored; a
+        # diagnostic records the fact when compaction was requested.
+        self.options = options
 
     def analyze(self, system: System) -> AnalysisResult:
         """Compute exact worst-case end-to-end response times."""
@@ -119,6 +128,17 @@ class SppExactAnalysis:
             "analyze", method=self.method, n_jobs=len(list(system.jobs))
         ) as span:
             result = run_adaptive(analyze_once, system.job_set, self.horizon)
+            if self.options is not None and self.options.compaction_enabled:
+                result.diagnostics.append(
+                    {
+                        "kind": "compaction_ignored",
+                        "source": "SppExactAnalysis",
+                        "detail": (
+                            "curve compaction is not certified for exact "
+                            "results; the analysis ran uncompacted"
+                        ),
+                    }
+                )
             span.set_attrs(
                 rounds=result.rounds,
                 horizon=result.horizon,

@@ -72,11 +72,15 @@ class StationaryAnalysis:
         horizon=None,
         envelope_horizon: float = 200.0,
         keep_curves: bool = False,
+        options=None,
     ) -> None:
         if horizon is not None and horizon.initial is not None:
             envelope_horizon = horizon.initial
         self.envelope_horizon = envelope_horizon
         self.keep_curves = keep_curves
+        # Accepted for registry uniformity; the stationary envelopes are
+        # tiny closed-form curves, compacting them would gain nothing.
+        self.options = options
 
     def analyze(self, system: System) -> AnalysisResult:
         with trace_span(

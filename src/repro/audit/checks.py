@@ -146,19 +146,24 @@ class CrossValidation:
 
 
 def make_audit_analyzer(
-    method: str, horizon: Optional[HorizonConfig] = None
+    method: str,
+    horizon: Optional[HorizonConfig] = None,
+    options=None,
 ):
     """Instantiate a method with per-hop artifacts retained when supported.
 
     The audit's hop-bracket checks need ``keep_curves=True``; analyzers
     without that knob (holistic, fixpoint, stationary) are constructed
-    plainly and contribute only end-to-end checks.
+    plainly and contribute only end-to-end checks.  ``options`` threads
+    :class:`~repro.analysis.AnalysisOptions` through, so a campaign can
+    audit the *compacted* analysis pipeline: compaction only loosens
+    bounds, so every simulated response must still fall inside them.
     """
     cls = METHODS[method]
     try:
-        return cls(horizon, keep_curves=True)
+        return cls(horizon, keep_curves=True, options=options)
     except TypeError:
-        return cls(horizon)
+        return cls(horizon, options=options)
 
 
 def verify_trace_in_envelope(
@@ -438,6 +443,7 @@ def cross_validate(
     jitter_offsets: Optional[Dict[str, Any]] = None,
     analyzers: Optional[Dict[str, Any]] = None,
     check_envelopes: bool = True,
+    options=None,
 ) -> CrossValidation:
     """Audit one system: run analyses + simulations, assert the ordering.
 
@@ -464,6 +470,10 @@ def cross_validate(
     check_envelopes:
         Also verify each job's release trace against its declared arrival
         envelope.
+    options:
+        :class:`~repro.analysis.AnalysisOptions` applied to every
+        analyzer (unless overridden via ``analyzers``); used to audit the
+        compacted/warm-started pipeline against simulation.
 
     Methods that reject the system (``AnalysisError``: wrong policy mix,
     aperiodic jobs for the holistic baseline, jitter for the exact
@@ -479,7 +489,7 @@ def cross_validate(
             analyzer = (
                 analyzers[method]
                 if analyzers is not None and method in analyzers
-                else make_audit_analyzer(method, horizon)
+                else make_audit_analyzer(method, horizon, options=options)
             )
             instances[method] = analyzer
             with trace_span("audit.method", method=method) as span:

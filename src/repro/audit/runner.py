@@ -34,6 +34,7 @@ from ..workloads.generators import (
     generate_periodic_jobset,
 )
 from ..workloads.jobshop import ShopTopology
+from ..analysis.options import AnalysisOptions
 from .checks import (
     AUDIT_METHODS,
     CrossValidation,
@@ -77,6 +78,9 @@ class AuditConfig:
     shrink: bool = True  #: shrink violating systems to minimal repros
     shrink_evals: int = 150  #: predicate-evaluation budget per shrink
     artifact_dir: Optional[str] = None  #: where to save counterexamples
+    #: analysis options (compaction, warm start) threaded to every
+    #: analyzer -- audits the *perf-optimized* pipeline when set
+    options: Optional[AnalysisOptions] = None
 
     def __post_init__(self) -> None:
         if self.n_systems < 1:
@@ -261,7 +265,8 @@ def audit_one(
             methods = (config.corrupt,)
             analyzers = {
                 config.corrupt: CorruptedAnalyzer(
-                    make_audit_analyzer(config.corrupt), config.corrupt_factor
+                    make_audit_analyzer(config.corrupt, options=config.options),
+                    config.corrupt_factor,
                 )
             }
         outcome = cross_validate(
@@ -271,6 +276,7 @@ def audit_one(
             tol=config.tol,
             jitter_offsets=offsets,
             analyzers=analyzers,
+            options=config.options,
         )
         audit = SystemAudit(
             index=index,
@@ -309,7 +315,8 @@ def _shrink_and_save(
         if config.corrupt and method == config.corrupt:
             analyzers = {
                 method: CorruptedAnalyzer(
-                    make_audit_analyzer(method), config.corrupt_factor
+                    make_audit_analyzer(method, options=config.options),
+                    config.corrupt_factor,
                 )
             }
         kept_ids = {job.job_id for job in sys2.jobs}
@@ -326,6 +333,7 @@ def _shrink_and_save(
             jitter_offsets=offs,
             analyzers=analyzers,
             check_envelopes=False,
+            options=config.options,
         )
         return bool(out.violations)
 

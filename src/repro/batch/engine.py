@@ -41,6 +41,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tupl
 from ..analysis.admission import make_analyzer
 from ..analysis.base import AnalysisResult
 from ..analysis.horizon import HorizonConfig
+from ..analysis.options import AnalysisOptions
 from ..curves import memo
 from ..model.system import System
 from ..obs import metrics as _obs_metrics
@@ -80,6 +81,9 @@ class BatchItem:
     method: str = "SPP/Exact"
     item_id: Optional[str] = None
     horizon: Optional[HorizonConfig] = None
+    #: Per-item analysis options (compaction, warm start); ``None`` falls
+    #: back to the engine-wide default passed to :class:`BatchEngine`.
+    options: Optional[AnalysisOptions] = None
 
 
 @dataclass
@@ -218,8 +222,12 @@ class BatchReport:
 # worker-side machinery (module level so it pickles by reference)
 # ----------------------------------------------------------------------
 
-#: (index, item_id, system, method, horizon, audit) -- the picklable record.
-_Record = Tuple[int, str, Any, str, Optional[HorizonConfig], bool]
+#: (index, item_id, system, method, horizon, options, audit) -- the
+#: picklable record (AnalysisOptions is a frozen dataclass of scalars, so
+#: it pickles cheaply by value).
+_Record = Tuple[
+    int, str, Any, str, Optional[HorizonConfig], Optional[AnalysisOptions], bool
+]
 
 
 class _ItemTimeout(Exception):
@@ -262,7 +270,7 @@ def _analyze_one(
     cache: Optional[memo.CurveCache],
     capture: Optional[Dict[str, bool]] = None,
 ) -> ItemResult:
-    index, item_id, system, method, horizon, audit = record
+    index, item_id, system, method, horizon, options, audit = record
     # Worker processes have no ambient observability state; when the
     # parent ran with tracing/metrics on, ``capture`` asks for a fresh
     # per-item collector/registry whose snapshots travel back across the
@@ -286,7 +294,9 @@ def _analyze_one(
         with trace_span("batch.item", item=item_id, method=method) as span:
             try:
                 with _item_timeout(timeout):
-                    result = make_analyzer(method, horizon).analyze(system)
+                    result = make_analyzer(
+                        method, horizon, options=options
+                    ).analyze(system)
                     if audit:
                         # Cross-validate this item's method against the
                         # simulator; findings ride along as structured
@@ -381,6 +391,10 @@ class BatchEngine:
         Cross-validate every successfully analyzed item against the
         simulator (:func:`repro.audit.checks.cross_validate`); findings
         land in :attr:`ItemResult.violations` and in the JSONL records.
+    options:
+        Engine-wide default :class:`~repro.analysis.AnalysisOptions`
+        (compaction budget, warm start); an item's own ``options`` field
+        takes precedence when set.
     """
 
     def __init__(
@@ -391,6 +405,7 @@ class BatchEngine:
         use_cache: bool = True,
         cache_size: int = memo.DEFAULT_CACHE_SIZE,
         audit: bool = False,
+        options: Optional[AnalysisOptions] = None,
     ) -> None:
         if chunksize is not None and chunksize <= 0:
             raise ValueError("chunksize must be positive")
@@ -400,6 +415,7 @@ class BatchEngine:
         self.use_cache = use_cache
         self.cache_size = cache_size
         self.audit = audit
+        self.options = options
         # Serial-mode cache persists across run() calls, mirroring the
         # per-worker persistent caches of the pool path.
         self._serial_cache: Optional[memo.CurveCache] = (
@@ -418,6 +434,7 @@ class BatchEngine:
                 item.system,
                 item.method,
                 item.horizon,
+                item.options if item.options is not None else self.options,
                 self.audit,
             )
             for i, item in enumerate(items)
@@ -446,10 +463,14 @@ class BatchEngine:
         systems: Iterable[System],
         method: str = "SPP/Exact",
         horizon: Optional[HorizonConfig] = None,
+        options: Optional[AnalysisOptions] = None,
     ) -> BatchReport:
         """Convenience wrapper: one item per system, a single method."""
         return self.run(
-            [BatchItem(system=s, method=method, horizon=horizon) for s in systems]
+            [
+                BatchItem(system=s, method=method, horizon=horizon, options=options)
+                for s in systems
+            ]
         )
 
     # ------------------------------------------------------------------
@@ -570,7 +591,7 @@ class BatchEngine:
 
 
 def _crash_result(record: _Record, exc: Exception, wall: float = 0.0) -> ItemResult:
-    index, item_id, _system, method, _horizon, _audit = record
+    index, item_id, _system, method, _horizon, _options, _audit = record
     return ItemResult(
         index=index,
         item_id=item_id,

@@ -61,11 +61,63 @@ import json
 import sys
 from typing import List, Optional
 
-from .analysis import METHODS, make_analyzer
+from .analysis import AnalysisOptions, METHODS, make_analyzer
 from .model.io import load_system
 from .sim import simulate as run_simulation
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_compact_args(p: argparse.ArgumentParser) -> None:
+    """Attach the sound-compaction / perf knobs (see docs/performance.md)."""
+    p.add_argument(
+        "--compact-budget",
+        type=int,
+        default=None,
+        dest="compact_budget",
+        metavar="N",
+        help="cap interference curves at N breakpoints (sound: upper "
+        "bounds round up, lower bounds round down); default: no compaction",
+    )
+    p.add_argument(
+        "--compact-max-error",
+        type=float,
+        default=None,
+        dest="compact_max_error",
+        metavar="EPS",
+        help="compact curves to a certified max vertical error of EPS "
+        "work units instead of a breakpoint budget",
+    )
+    p.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        dest="no_warm_start",
+        help="disable horizon warm-starting in the fixpoint analysis "
+        "(only relevant with --compact-budget/--compact-max-error)",
+    )
+
+
+def _options_from_args(args) -> Optional[AnalysisOptions]:
+    """Build AnalysisOptions from parsed compact args; None = defaults.
+
+    Returning ``None`` when no perf knob was given keeps the default CLI
+    path byte-identical to the pre-options pipeline.
+    """
+    budget = getattr(args, "compact_budget", None)
+    max_error = getattr(args, "compact_max_error", None)
+    no_warm = getattr(args, "no_warm_start", False)
+    if budget is None and max_error is None and not no_warm:
+        return None
+    if budget is not None and max_error is not None:
+        raise SystemExit(
+            "error: --compact-budget and --compact-max-error are exclusive"
+        )
+    return AnalysisOptions(
+        compact_budget=budget,
+        compact_mode="error" if max_error is not None else "budget",
+        compact_max_error=max_error,
+        warm_start=not no_warm,
+    )
 
 
 def _add_obs_args(p: argparse.ArgumentParser) -> None:
@@ -103,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument(
         "--json", action="store_true", help="emit the machine-readable result schema"
     )
+    _add_compact_args(p_an)
     _add_obs_args(p_an)
 
     p_sim = sub.add_parser("simulate", help="simulate a JSON system description")
@@ -118,6 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument(
         "--json", action="store_true", help="emit the machine-readable result schema"
     )
+    _add_compact_args(p_val)
 
     p_fig = sub.add_parser("figures", help="regenerate Figure 3 / Figure 4")
     p_fig.add_argument("--figure", choices=["3", "4", "both"], default="both")
@@ -155,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-validate each analyzed item against the simulator; "
         "violation records are added to the output lines",
     )
+    _add_compact_args(p_bat)
     _add_obs_args(p_bat)
 
     p_aud = sub.add_parser(
@@ -205,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_aud.add_argument(
         "--json", action="store_true", help="emit the full report as JSON"
     )
+    _add_compact_args(p_aud)
     _add_obs_args(p_aud)
 
     p_tr = sub.add_parser(
@@ -239,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the result JSON with the observability block embedded",
     )
+    _add_compact_args(p_tr)
 
     p_rep = sub.add_parser("report", help="markdown analysis report")
     p_rep.add_argument("system")
@@ -260,8 +317,9 @@ def _cmd_analyze(args) -> int:
     from .obs import observe
 
     system = load_system(args.system)
+    options = _options_from_args(args)
     with observe(trace_out=args.trace_out, metrics_out=args.metrics_out):
-        result = make_analyzer(args.method).analyze(system)
+        result = make_analyzer(args.method, options=options).analyze(system)
     print(result.to_json(indent=2) if args.json else result.summary())
     return 0 if result.schedulable else 1
 
@@ -279,7 +337,9 @@ def _cmd_trace(args) -> int:
         force_metrics=True,
     ) as session:
         with memo.curve_cache():
-            result = make_analyzer(args.method).analyze(system)
+            result = make_analyzer(
+                args.method, options=_options_from_args(args)
+            ).analyze(system)
         if args.embed:
             result.observability = session.embed_block()
         n_spans = len(session.collector.spans)
@@ -306,7 +366,8 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_validate(args) -> int:
     system = load_system(args.system)
-    result = make_analyzer(args.method).analyze(system)
+    options = _options_from_args(args)
+    result = make_analyzer(args.method, options=options).analyze(system)
     if not args.json:
         print(result.summary())
     if not result.drained:
@@ -405,6 +466,7 @@ def _cmd_batch(args) -> int:
         timeout=args.timeout,
         use_cache=not args.no_cache,
         audit=args.audit,
+        options=_options_from_args(args),
     )
     with observe(trace_out=args.trace_out, metrics_out=args.metrics_out):
         report = engine.run(items)
@@ -449,6 +511,7 @@ def _cmd_audit(args) -> int:
         max_jobs=args.max_jobs,
         shrink=not args.no_shrink,
         artifact_dir=args.artifact_dir,
+        options=_options_from_args(args),
     )
     with observe(trace_out=args.trace_out, metrics_out=args.metrics_out):
         if args.json:

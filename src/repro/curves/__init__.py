@@ -7,6 +7,7 @@ time analysis (Theorems 3--9 of Li, Bettati & Zhao, ICPP 1998), and
 :func:`service_transform` kernel.
 """
 
+from .compact import MIN_BUDGET, compact, max_deviation
 from .curve import (
     EPS,
     Curve,
@@ -45,6 +46,9 @@ __all__ = [
     "service_transform",
     "fcfs_utilization",
     "fcfs_service_bounds",
+    "MIN_BUDGET",
+    "compact",
+    "max_deviation",
     "CacheStats",
     "CurveCache",
     "active_curve_cache",

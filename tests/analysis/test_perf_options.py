@@ -1,0 +1,161 @@
+"""Regression tests for the performance layer (AnalysisOptions).
+
+The layer must be invisible when off (byte-identical results with
+``options=None``, with dirty-set skipping on or off) and certified when
+on (compacted bounds dominate exact bounds, warm-started horizons agree
+with cold-started ones).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnalysisOptions
+from repro.analysis.admission import make_analyzer
+from repro.analysis.fixpoint import FixpointAnalysis
+from repro.model import (
+    Job,
+    JobSet,
+    PeriodicArrivals,
+    System,
+    TraceArrivals,
+    assign_priorities_proportional_deadline,
+)
+from repro.obs.metrics import metrics
+
+
+def cyclic_system():
+    """Two chains in opposite directions: needs the fixpoint iteration."""
+    jobs = [
+        Job.build("fwd", [("P0", 1.0), ("P1", 0.8)], PeriodicArrivals(6.0), 40.0),
+        Job.build("rev", [("P1", 1.0), ("P0", 0.7)], PeriodicArrivals(7.0), 40.0),
+        Job.build("hp", [("P0", 0.5)], PeriodicArrivals(5.0), 20.0),
+    ]
+    sys_ = System(JobSet(jobs), "spp")
+    assign_priorities_proportional_deadline(sys_)
+    return sys_
+
+
+def bursty_system(n_jobs=6, n_inst=300):
+    """Finite dense bursts: breakpoint-heavy, transient overload."""
+    jobs = []
+    for j in range(n_jobs):
+        times = j * 0.017 + 0.06 * np.arange(n_inst)
+        jobs.append(
+            Job.build(
+                f"b{j}",
+                [("P0", 0.1), ("P1", 0.1)],
+                TraceArrivals(times.tolist()),
+                deadline=800.0,
+            )
+        )
+    sys_ = System(JobSet(jobs), "spp")
+    assign_priorities_proportional_deadline(sys_)
+    return sys_
+
+
+def wcrts(result):
+    return {job_id: r.wcrt for job_id, r in result.jobs.items()}
+
+
+# -- the layer is invisible when off ---------------------------------------
+
+
+def test_dirty_skip_matches_naive_sweeps():
+    sys_ = cyclic_system()
+    skipping = FixpointAnalysis().analyze(sys_)
+    naive = FixpointAnalysis(dirty_skip=False).analyze(sys_)
+    assert wcrts(skipping) == wcrts(naive)
+    assert skipping.horizon == naive.horizon
+    assert skipping.rounds == naive.rounds
+
+
+def test_warm_start_matches_cold_start():
+    sys_ = cyclic_system()
+    # AnalysisOptions() enables only the (lossless) warm start.
+    warm = FixpointAnalysis(options=AnalysisOptions()).analyze(sys_)
+    cold = FixpointAnalysis(options=None).analyze(sys_)
+    for job_id, w in wcrts(warm).items():
+        assert w == pytest.approx(wcrts(cold)[job_id], rel=1e-12, abs=1e-12)
+    assert warm.schedulable == cold.schedulable
+
+
+def test_hops_skipped_metric_increments():
+    sys_ = cyclic_system()
+    with metrics() as registry:
+        FixpointAnalysis().analyze(sys_)
+        skipped = registry.counters.get("repro_fixpoint_hops_skipped_total", {})
+    assert sum(skipped.values()) > 0
+
+
+# -- compaction is certified when on ---------------------------------------
+
+
+@pytest.mark.parametrize("method", ["SPP/App", "Fixpoint/App"])
+def test_compacted_bounds_dominate_exact(method):
+    sys_ = bursty_system()
+    exact = make_analyzer(method).analyze(sys_)
+    compacted = make_analyzer(
+        method, options=AnalysisOptions(compact_budget=64)
+    ).analyze(sys_)
+    base, comp = wcrts(exact), wcrts(compacted)
+    for job_id in base:
+        assert comp[job_id] >= base[job_id] - 1e-9, job_id
+    # ... and not uselessly loose on this fixture.
+    for job_id in base:
+        if math.isfinite(base[job_id]) and base[job_id] > 0:
+            assert comp[job_id] <= 1.10 * base[job_id], job_id
+
+
+def test_compaction_emits_metrics():
+    sys_ = bursty_system(n_jobs=4, n_inst=200)
+    with metrics() as registry:
+        make_analyzer(
+            "Fixpoint/App", options=AnalysisOptions(compact_budget=32)
+        ).analyze(sys_)
+        compactions = registry.counters.get("repro_curve_compactions_total", {})
+        gauges = registry.gauges.get("repro_curve_breakpoints", {})
+    assert sum(compactions.values()) > 0
+    assert gauges  # in/out breakpoint gauges were recorded
+
+
+def test_exact_analysis_reports_compaction_ignored():
+    jobs = [
+        Job.build("a", [("cpu", 1.0)], PeriodicArrivals(5.0), 10.0),
+        Job.build("b", [("cpu", 1.5)], PeriodicArrivals(6.0), 12.0),
+    ]
+    sys_ = System(JobSet(jobs), "spp")
+    assign_priorities_proportional_deadline(sys_)
+    res = make_analyzer(
+        "SPP/Exact", options=AnalysisOptions(compact_budget=64)
+    ).analyze(sys_)
+    kinds = [d.get("kind") for d in res.diagnostics]
+    assert "compaction_ignored" in kinds
+
+
+# -- options object and threading ------------------------------------------
+
+
+def test_options_validation():
+    with pytest.raises(ValueError):
+        AnalysisOptions(compact_mode="fuzzy")
+    with pytest.raises(ValueError):
+        AnalysisOptions(compact_budget=2)
+    with pytest.raises(ValueError):
+        AnalysisOptions(compact_mode="error")
+    with pytest.raises(ValueError):
+        AnalysisOptions(compact_mode="error", compact_max_error=-1.0)
+    assert not AnalysisOptions().compaction_enabled
+    assert AnalysisOptions(compact_budget=64).compaction_enabled
+    assert AnalysisOptions(
+        compact_mode="error", compact_max_error=0.5
+    ).compaction_enabled
+
+
+def test_make_analyzer_threads_options():
+    opts = AnalysisOptions(compact_budget=64)
+    for method in ["SPP/App", "SPNP/App", "FCFS/App", "Mixed/App",
+                   "Fixpoint/App", "SPP/Exact", "SPP/S&L", "Stationary/NC"]:
+        analyzer = make_analyzer(method, options=opts)
+        assert analyzer.options is opts

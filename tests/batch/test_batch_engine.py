@@ -69,8 +69,9 @@ class _SleepyAnalysis:
     name = "Sleepy"
     policy = None
 
-    def __init__(self, horizon=None):
+    def __init__(self, horizon=None, options=None):
         self.horizon = horizon
+        self.options = options
 
     def analyze(self, system):
         time.sleep(30.0)
