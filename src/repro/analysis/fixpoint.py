@@ -44,7 +44,7 @@ from .hopbounds import (
     visible_step,
 )
 from .horizon import HorizonConfig, run_adaptive
-from .options import AnalysisOptions
+from .options import AnalysisOptions, backend_scope
 from .spp_exact import _overloaded_result
 
 __all__ = ["FixpointAnalysis"]
@@ -156,7 +156,7 @@ class FixpointAnalysis:
                 system, h, report, carry if warm else None
             )
 
-        with trace_span(
+        with backend_scope(self.options), trace_span(
             "analyze", method=self.method, n_jobs=len(list(system.jobs))
         ) as span:
             result = run_adaptive(analyze_once, system.job_set, self.horizon)

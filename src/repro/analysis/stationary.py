@@ -39,6 +39,7 @@ from ..model.job import SubJob
 from ..model.system import SchedulingPolicy, System
 from ..obs.trace import trace_span
 from .base import AnalysisResult, EndToEndResult, SubjobResult, dependency_order
+from .options import backend_scope
 from .compositional import blocking_time
 
 __all__ = ["StationaryAnalysis"]
@@ -83,7 +84,7 @@ class StationaryAnalysis:
         self.options = options
 
     def analyze(self, system: System) -> AnalysisResult:
-        with trace_span(
+        with backend_scope(self.options), trace_span(
             "analyze", method=self.method, n_jobs=len(list(system.jobs))
         ) as span:
             result = self._analyze(system)

@@ -42,6 +42,7 @@ from ..analysis.admission import make_analyzer
 from ..analysis.base import AnalysisResult
 from ..analysis.horizon import HorizonConfig
 from ..analysis.options import AnalysisOptions
+from ..curves import backend as _backend
 from ..curves import memo
 from ..model.system import System
 from ..obs import metrics as _obs_metrics
@@ -320,6 +321,13 @@ def _analyze_one(
         delta = cache.stats().delta(before) if cache is not None else None
         if delta is not None and result is not None:
             result.cache_stats = delta.to_dict()
+            # Cache keys mix in the backend name; record which one the
+            # item actually ran under so hit rates stay interpretable.
+            result.cache_stats["backend"] = (
+                options.backend
+                if options is not None and options.backend is not None
+                else _backend.active_backend_name()
+            )
         item = ItemResult(
             index=index,
             item_id=item_id,

@@ -95,6 +95,15 @@ def _add_compact_args(p: argparse.ArgumentParser) -> None:
         help="disable horizon warm-starting in the fixpoint analysis "
         "(only relevant with --compact-budget/--compact-max-error)",
     )
+    p.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "python"),
+        default="auto",
+        dest="backend",
+        help="curve kernel backend (bit-identical results either way); "
+        "'auto' keeps the process default (numpy when installed, or "
+        "the REPRO_CURVE_BACKEND environment variable)",
+    )
 
 
 def _options_from_args(args) -> Optional[AnalysisOptions]:
@@ -106,7 +115,10 @@ def _options_from_args(args) -> Optional[AnalysisOptions]:
     budget = getattr(args, "compact_budget", None)
     max_error = getattr(args, "compact_max_error", None)
     no_warm = getattr(args, "no_warm_start", False)
-    if budget is None and max_error is None and not no_warm:
+    backend = getattr(args, "backend", "auto")
+    if backend == "auto":
+        backend = None
+    if budget is None and max_error is None and not no_warm and backend is None:
         return None
     if budget is not None and max_error is not None:
         raise SystemExit(
@@ -117,6 +129,7 @@ def _options_from_args(args) -> Optional[AnalysisOptions]:
         compact_mode="error" if max_error is not None else "budget",
         compact_max_error=max_error,
         warm_start=not no_warm,
+        backend=backend,
     )
 
 

@@ -2,14 +2,25 @@
 
 See :mod:`repro.curves.curve` for the :class:`Curve` data type,
 :mod:`repro.curves.ops` for the min-plus operators used by the response
-time analysis (Theorems 3--9 of Li, Bettati & Zhao, ICPP 1998), and
+time analysis (Theorems 3--9 of Li, Bettati & Zhao, ICPP 1998),
+:mod:`repro.curves.backend` for the pluggable numerical backends
+(``numpy`` / ``python``, bit-identical by contract), and
 :mod:`repro.curves.memo` for the opt-in memoization of the hot
 :func:`service_transform` kernel.
 """
 
+from .backend import (
+    BackendError,
+    active_backend_name,
+    available_backends,
+    default_backend_name,
+    set_backend,
+    use_backend,
+)
 from .compact import MIN_BUDGET, compact, max_deviation
 from .curve import (
     EPS,
+    Breakpoints,
     Curve,
     CurveError,
     audit_checks,
@@ -35,8 +46,15 @@ from .ops import (
 
 __all__ = [
     "EPS",
+    "Breakpoints",
     "Curve",
     "CurveError",
+    "BackendError",
+    "active_backend_name",
+    "available_backends",
+    "default_backend_name",
+    "set_backend",
+    "use_backend",
     "audit_checks",
     "audit_checks_enabled",
     "set_audit_checks",

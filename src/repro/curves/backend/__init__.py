@@ -1,0 +1,135 @@
+"""Backend registry and selection for the curve kernels.
+
+The curve algebra dispatches its numerical kernels through a process-wide
+*active backend*:
+
+* ``"numpy"`` -- vectorized kernels over breakpoint arrays (default
+  whenever NumPy is importable);
+* ``"python"`` -- pure-python scalar ports of the exact same arithmetic,
+  bit-identical by contract, kept for zero-dependency installs.
+
+Selection surface, outermost wins:
+
+1. :func:`use_backend` / :func:`set_backend` (what
+   ``AnalysisOptions.backend`` and the CLI ``--backend`` flag drive);
+2. the ``REPRO_CURVE_BACKEND`` environment variable;
+3. the built-in default (``numpy`` when available, else ``python``).
+
+Backend implementation modules are imported lazily on first use --
+``repro.curves.curve`` imports this package at module load, and the
+implementations import ``Curve`` back, so eager imports would cycle.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+from .._arrays import HAVE_NUMPY
+from .base import CurveBackend
+
+__all__ = [
+    "BackendError",
+    "CurveBackend",
+    "active_backend",
+    "active_backend_name",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+]
+
+#: Environment variable consulted (once, at first use) for the default.
+ENV_VAR = "REPRO_CURVE_BACKEND"
+
+_KNOWN = ("numpy", "python")
+
+
+class BackendError(ValueError):
+    """Raised for unknown or unavailable curve backends."""
+
+
+_instances: Dict[str, CurveBackend] = {}
+_active: Optional[str] = None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends usable in this process."""
+    return _KNOWN if HAVE_NUMPY else ("python",)
+
+
+def default_backend_name() -> str:
+    """Backend used when nothing was selected explicitly.
+
+    ``REPRO_CURVE_BACKEND`` overrides the built-in choice (``numpy`` when
+    NumPy is importable, ``python`` otherwise).
+    """
+    env = os.environ.get(ENV_VAR, "").strip().lower()
+    if env in ("", "auto"):
+        return "numpy" if HAVE_NUMPY else "python"
+    _check_name(env)
+    return env
+
+
+def _check_name(name: str) -> str:
+    if name not in _KNOWN:
+        raise BackendError(
+            f"unknown curve backend {name!r}; known backends: {_KNOWN}"
+        )
+    if name == "numpy" and not HAVE_NUMPY:
+        raise BackendError(
+            "curve backend 'numpy' requested but numpy is not importable "
+            "(or REPRO_CURVES_PURE_PYTHON is set); use backend 'python'"
+        )
+    return name
+
+
+def get_backend(name: str) -> CurveBackend:
+    """The (lazily instantiated) backend registered under ``name``."""
+    _check_name(name)
+    backend = _instances.get(name)
+    if backend is None:
+        if name == "numpy":
+            from .numpy_backend import NumpyBackend
+
+            backend = NumpyBackend()
+        else:
+            from .python_backend import PythonBackend
+
+            backend = PythonBackend()
+        _instances[name] = backend
+    return backend
+
+
+def active_backend_name() -> str:
+    """Name of the backend the kernels currently dispatch to."""
+    global _active
+    if _active is None:
+        _active = default_backend_name()
+    return _active
+
+
+def active_backend() -> CurveBackend:
+    """The backend instance the kernels currently dispatch to."""
+    return get_backend(active_backend_name())
+
+
+def set_backend(name: str) -> str:
+    """Select the process-wide backend; returns the previous name."""
+    global _active
+    _check_name(name)
+    previous = active_backend_name()
+    _active = name
+    return previous
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[CurveBackend]:
+    """Scope a backend selection to a ``with`` block."""
+    previous = set_backend(name)
+    try:
+        yield get_backend(name)
+    finally:
+        set_backend(previous)

@@ -1,0 +1,109 @@
+"""Abstract kernel interface implemented by every curve backend.
+
+A backend bundles the numerical kernels of the curve algebra -- the five
+hot operations of the analysis pipeline (point evaluation, the
+pseudo-inverse, curve sums, the ``identity_minus`` availability closures
+and the min-plus ``service_transform``) plus the canonical-form and
+structure helpers that :class:`~repro.curves.curve.Curve` itself needs.
+
+Backends are *interchangeable by contract*: for the same inputs every
+backend must produce the same curves bit for bit (the property suite in
+``tests/curves/test_backends.py`` pins this, and the golden analysis
+tests pin it end to end).  The ``numpy`` backend vectorizes the kernels
+over breakpoint arrays; the ``python`` backend mirrors the exact same
+arithmetic with scalar loops so zero-dependency installs keep working.
+
+Kernels receive raw breakpoint storage (see :mod:`repro.curves._arrays`)
+plus scalars, and -- for the curve-valued operators -- whole
+:class:`Curve` operands, returning new :class:`Curve` objects built via
+the private :meth:`Curve._build` constructor.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence, Tuple
+
+__all__ = ["CurveBackend"]
+
+
+class CurveBackend(ABC):
+    """Numerical kernels behind the :class:`~repro.curves.curve.Curve` API."""
+
+    #: Registry name (``"numpy"`` / ``"python"``), used in memo keys and
+    #: the ``backend`` label of ``repro_curve_op_seconds``.
+    name: str = "abstract"
+
+    # -- construction --------------------------------------------------
+
+    @abstractmethod
+    def normalize(
+        self, x, y, final_slope: float, canonicalize: bool
+    ) -> Tuple[object, object, float]:
+        """Validate, noise-clamp and (optionally) canonicalize breakpoints.
+
+        Raises ``CurveError`` on invalid input; returns the storage-form
+        ``(x, y, final_slope)`` triple the curve will freeze.
+        """
+
+    @abstractmethod
+    def check_invariants(self, x, y, final_slope: float) -> None:
+        """Raise ``CurveError`` when the canonical-form invariants are broken."""
+
+    @abstractmethod
+    def step_from_times(self, times, height: float) -> Tuple[object, object]:
+        """Raw breakpoints of the cumulative step curve over jump times."""
+
+    # -- evaluation kernels --------------------------------------------
+
+    @abstractmethod
+    def eval_right(self, x, y, final_slope: float, ts):
+        """Right-continuous values at query points ``ts`` (array in/out)."""
+
+    @abstractmethod
+    def eval_left(self, x, y, final_slope: float, ts):
+        """Left limits at query points ``ts`` (array in/out)."""
+
+    @abstractmethod
+    def first_crossing(self, x, y, final_slope: float, vs):
+        """Pseudo-inverse ``min{s : f(s) >= v}`` (array in/out)."""
+
+    @abstractmethod
+    def last_below(self, x, y, final_slope: float, vs):
+        """Supremum of ``{t : f(t) <= v}`` (array in/out)."""
+
+    # -- structure queries ---------------------------------------------
+
+    @abstractmethod
+    def is_step(self, x, y, final_slope: float, tol: float) -> bool:
+        """True when the curve is piecewise constant."""
+
+    @abstractmethod
+    def is_continuous(self, x, y, tol: float) -> bool:
+        """True when the curve has no jumps."""
+
+    @abstractmethod
+    def jump_times(self, x, y, tol: float):
+        """Abscissae of upward jumps, increasing (storage array)."""
+
+    @abstractmethod
+    def lipschitz(self, x, y, final_slope: float) -> float:
+        """Maximum ramp slope (``inf`` when the curve jumps)."""
+
+    # -- curve-valued operators ----------------------------------------
+
+    @abstractmethod
+    def sum_curves(self, curves: Sequence):
+        """Exact pointwise sum of non-decreasing curves."""
+
+    @abstractmethod
+    def min_curves(self, a, b):
+        """Exact pointwise minimum of two non-decreasing curves."""
+
+    @abstractmethod
+    def identity_minus(self, total, lateness: float, mode: str):
+        """Availability curve ``max(0, t - lateness - total(t))`` + closure."""
+
+    @abstractmethod
+    def service_transform(self, B, c, lag: float, t_end: float):
+        """The paper's min-plus service kernel (Theorems 3/5/6/7)."""

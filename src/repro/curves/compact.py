@@ -61,9 +61,13 @@ only shifts further in the certified direction).
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional
 
-import numpy as np
+try:  # Compaction is numpy-only; the curve core itself runs without it.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on zero-dep installs
+    np = None  # type: ignore[assignment]
 
 from ..obs import metrics as _obs_metrics
 from . import memo
@@ -130,9 +134,14 @@ def compact(
     if shape == "linear" and budget is None:
         raise CurveError("shape='linear' requires budget mode")
 
-    if budget is not None and curve.x.size <= budget:
+    if budget is not None and curve.n_breakpoints <= budget:
         return curve
-    if np.unique(curve.x).size <= 2:
+    if np is None:
+        raise CurveError(
+            "curve compaction requires numpy; install it or disable "
+            "compaction (it is off by default)"
+        )
+    if np.unique(curve.breakpoints().x).size <= 2:
         return curve
 
     cache = memo.active_curve_cache()
@@ -159,7 +168,7 @@ def _compact_impl(
     max_error: Optional[float],
     shape: str,
 ) -> Curve:
-    knots = np.unique(curve.x)
+    knots = np.unique(curve.breakpoints().x)
     V = np.atleast_1d(np.asarray(curve.value(knots), dtype=float))
     L = np.atleast_1d(np.asarray(curve.value_left(knots), dtype=float))
 
@@ -205,17 +214,23 @@ def _compact_impl(
             np.maximum.accumulate(ys_arr, out=ys_arr)
         else:
             ys_arr = np.minimum.accumulate(ys_arr[::-1])[::-1]
-    result = Curve(
+    result = Curve._build(
         np.asarray(xs, dtype=float),
         ys_arr,
         curve.final_slope,
     )
     _obs_metrics.inc("repro_curve_compactions_total", mode=mode, shape=shape)
     _obs_metrics.set_gauge(
-        "repro_curve_breakpoints", float(curve.x.size), stage="in", mode=mode
+        "repro_curve_breakpoints",
+        float(curve.n_breakpoints),
+        stage="in",
+        mode=mode,
     )
     _obs_metrics.set_gauge(
-        "repro_curve_breakpoints", float(result.x.size), stage="out", mode=mode
+        "repro_curve_breakpoints",
+        float(result.n_breakpoints),
+        stage="out",
+        mode=mode,
     )
     return result
 
@@ -236,6 +251,14 @@ def _emit_chord(emit, knots, V, L, s: int, e: int, mode: str) -> None:
     """
     a, b = float(knots[s]), float(knots[e])
     rho = (L[e] - V[s]) / (b - a)
+    if not math.isfinite(rho):
+        # The chord slope overflows when the span's knots are packed
+        # within a denormal width.  Fall back to the certified flat step
+        # for this span: direction is preserved and values stay finite.
+        lvl = float(L[e]) if mode == "upper" else float(V[s])
+        emit(a, lvl)
+        emit(b, lvl)
+        return
     if mode == "upper":
         inner = slice(s, e)
         chord = V[s] + rho * (knots[inner] - a)
@@ -291,10 +314,12 @@ def max_deviation(a: Curve, b: Curve, t_end: float, n: int = 2048) -> float:
     every breakpoint of both curves, so staircase jumps are not missed.
     Diagnostic helper for benchmarks and tests -- not used on hot paths.
     """
+    ax = np.asarray(a.breakpoints().x)
+    bx = np.asarray(b.breakpoints().x)
     grid = np.unique(np.concatenate([
         np.linspace(0.0, t_end, n),
-        a.x[a.x <= t_end],
-        b.x[b.x <= t_end],
+        ax[ax <= t_end],
+        bx[bx <= t_end],
     ]))
     dev = np.abs(np.asarray(a.value(grid)) - np.asarray(b.value(grid)))
     dev_l = np.abs(np.asarray(a.value_left(grid)) - np.asarray(b.value_left(grid)))

@@ -10,14 +10,29 @@ constant, jumping upward at release/completion instants); service and
 utilization functions are *continuous* piecewise-linear functions whose
 slopes lie in ``[0, 1]``.
 
-:class:`Curve` represents both kinds uniformly:
+:class:`Curve` represents both kinds uniformly, as an immutable value type:
 
-* breakpoints are stored as parallel arrays ``x`` (abscissae) and ``y``
-  (values), both non-decreasing, with ``x[0] == 0``;
+* breakpoints are stored privately as parallel arrays ``x`` (abscissae)
+  and ``y`` (values), both non-decreasing, with ``x[0] == 0``; read them
+  through the :meth:`Curve.breakpoints` view;
 * a pair of consecutive entries sharing the same abscissa encodes an upward
   jump (the function is evaluated *right-continuously* at the jump);
 * beyond the last breakpoint the curve continues with a constant
   ``final_slope``.
+
+Curves are constructed through the factories --
+:meth:`Curve.from_breakpoints` for explicit breakpoint data,
+:meth:`Curve.from_staircase` / :meth:`Curve.step_from_times` for the
+paper's arrival/workload step functions, :meth:`Curve.from_token_bucket`
+/ :meth:`Curve.affine` for Cruz ``(sigma, rho)`` envelopes, plus
+:meth:`Curve.zero`, :meth:`Curve.constant` and :meth:`Curve.identity`.
+The legacy positional constructor ``Curve(x, y, ...)`` still works but
+emits a :class:`DeprecationWarning`.
+
+The numerical kernels behind evaluation, the pseudo-inverse and the curve
+operators live in :mod:`repro.curves.backend` and are dispatched through
+the process-wide active backend (``numpy`` when available, ``python`` for
+zero-dependency installs); all backends produce bit-identical curves.
 
 The class deliberately exposes both right-continuous evaluation
 (:meth:`Curve.value`) and left limits (:meth:`Curve.value_left`): the
@@ -31,12 +46,15 @@ right-continuous reading.  See DESIGN.md section 3.
 from __future__ import annotations
 
 import math
+import warnings
 from contextlib import contextmanager
-from typing import Iterable, Iterator, Sequence, Tuple, Union
+from typing import Any, Iterable, Iterator, NamedTuple, Sequence, Tuple, Union
 
-import numpy as np
+from . import _arrays
+from . import backend as _backend
 
 __all__ = [
+    "Breakpoints",
     "Curve",
     "CurveError",
     "EPS",
@@ -48,7 +66,7 @@ __all__ = [
 #: Absolute tolerance used when canonicalizing and comparing breakpoints.
 EPS = 1e-9
 
-ArrayLike = Union[float, Sequence[float], np.ndarray]
+ArrayLike = Union[float, Sequence[float], Any]
 
 #: When true, every constructed curve is run through
 #: :meth:`Curve.check_invariants` before being handed to callers.  Off by
@@ -84,37 +102,35 @@ class CurveError(ValueError):
     """Raised when curve data violates the class invariants."""
 
 
-def _as_float_array(values: ArrayLike) -> np.ndarray:
-    arr = np.asarray(values, dtype=float)
-    if arr.ndim == 0:
-        arr = arr.reshape(1)
-    return arr
+class Breakpoints(NamedTuple):
+    """Read-only view of a curve's breakpoint arrays (parallel ``x``/``y``).
+
+    The arrays are the curve's frozen storage -- NumPy arrays with the
+    writeable flag cleared, or plain tuples on pure-python installs.  Do
+    not mutate them; copy first if you need scratch space.
+    """
+
+    x: Any
+    y: Any
 
 
 class Curve:
     """A non-decreasing piecewise-linear function on ``[0, inf)``.
 
-    Parameters
-    ----------
-    x, y:
-        Breakpoint abscissae and values.  Both must be non-decreasing and of
-        equal length; ``x[0]`` must be ``0``.  Two consecutive entries with
-        the same abscissa encode an upward jump.
-    final_slope:
-        Slope of the curve for ``t >= x[-1]``.  Must be ``>= 0``.
-    canonicalize:
-        When true (default) the breakpoint list is normalized: collinear
-        interior points and zero-height jumps are removed and near-duplicate
-        abscissae are merged.
+    Instances are immutable value types: breakpoint storage is private
+    and frozen, so curves can be shared, memoized and used as building
+    blocks without defensive copies.  Use the factory classmethods to
+    construct curves and :meth:`breakpoints` to read the breakpoint
+    arrays.
 
     Notes
     -----
     The empty curve is not representable; the minimal curve is a single
-    breakpoint, e.g. ``Curve([0.0], [0.0], final_slope=0.0)`` which is the
-    constant zero function.
+    breakpoint, e.g. ``Curve.from_breakpoints([0.0], [0.0])`` which is
+    the constant zero function.
     """
 
-    __slots__ = ("x", "y", "final_slope", "_memo_token")
+    __slots__ = ("_x", "_y", "_final_slope", "_memo_token")
 
     def __init__(
         self,
@@ -124,45 +140,76 @@ class Curve:
         *,
         canonicalize: bool = True,
     ) -> None:
-        xs = _as_float_array(x)
-        ys = _as_float_array(y)
-        if xs.shape != ys.shape or xs.ndim != 1 or xs.size == 0:
-            raise CurveError(
-                f"x and y must be equal-length non-empty 1-D arrays, got "
-                f"shapes {xs.shape} and {ys.shape}"
-            )
-        if not math.isfinite(final_slope) or final_slope < -EPS:
-            raise CurveError(f"final_slope must be finite and >= 0, got {final_slope}")
-        if abs(xs[0]) > EPS:
-            raise CurveError(f"curve domain must start at 0, got x[0]={xs[0]}")
-        xs = xs.copy()
-        ys = ys.copy()
-        xs[0] = 0.0
-        if np.any(np.diff(xs) < -EPS):
-            raise CurveError("x must be non-decreasing")
-        if np.any(np.diff(ys) < -EPS):
-            raise CurveError("y must be non-decreasing")
-        # Clamp tiny negative diffs introduced by floating point noise.
-        np.maximum.accumulate(xs, out=xs)
-        np.maximum.accumulate(ys, out=ys)
-        self.x = xs
-        self.y = ys
-        self.final_slope = max(0.0, float(final_slope))
+        warnings.warn(
+            "direct Curve(x, y, ...) construction is deprecated; use "
+            "Curve.from_breakpoints(x, y, ...) (or from_staircase / "
+            "from_token_bucket for the common shapes)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._init_from(x, y, final_slope, canonicalize)
+
+    def _init_from(
+        self, x: ArrayLike, y: ArrayLike, final_slope: float, canonicalize: bool
+    ) -> None:
+        xs, ys, fs = _backend.active_backend().normalize(
+            x, y, final_slope, canonicalize
+        )
+        self._x = _arrays.freeze(xs)
+        self._y = _arrays.freeze(ys)
+        self._final_slope = fs
         #: Lazily computed breakpoint digest (see :mod:`repro.curves.memo`).
         self._memo_token = None
-        if canonicalize:
-            self._canonicalize()
         if _AUDIT_CHECKS:
             self.check_invariants()
 
     # ------------------------------------------------------------------
-    # construction helpers
+    # construction (factories)
     # ------------------------------------------------------------------
+
+    @classmethod
+    def _build(
+        cls,
+        x: ArrayLike,
+        y: ArrayLike,
+        final_slope: float = 0.0,
+        canonicalize: bool = True,
+    ) -> "Curve":
+        """Internal constructor (no deprecation shim) used by the package."""
+        self = object.__new__(cls)
+        self._init_from(x, y, final_slope, canonicalize)
+        return self
+
+    @classmethod
+    def from_breakpoints(
+        cls,
+        x: ArrayLike,
+        y: ArrayLike,
+        final_slope: float = 0.0,
+        *,
+        canonicalize: bool = True,
+    ) -> "Curve":
+        """Curve through explicit breakpoints.
+
+        Parameters
+        ----------
+        x, y:
+            Breakpoint abscissae and values.  Both must be non-decreasing
+            and of equal length; ``x[0]`` must be ``0``.  Two consecutive
+            entries with the same abscissa encode an upward jump.
+        final_slope:
+            Slope of the curve for ``t >= x[-1]``.  Must be ``>= 0``.
+        canonicalize:
+            When true (default) the breakpoint list is normalized:
+            collinear interior points and zero-height jumps are removed
+            and near-duplicate abscissae are merged.
+        """
+        return cls._build(x, y, final_slope, canonicalize)
 
     @classmethod
     def zero(cls) -> "Curve":
         """The constant-zero curve."""
-        return cls([0.0], [0.0], 0.0, canonicalize=False)
+        return cls._build([0.0], [0.0], 0.0, canonicalize=False)
 
     @classmethod
     def constant(cls, value: float) -> "Curve":
@@ -171,12 +218,12 @@ class Curve:
             raise CurveError("constant curves must be non-negative")
         if value == 0:
             return cls.zero()
-        return cls([0.0, 0.0], [0.0, value], 0.0, canonicalize=False)
+        return cls._build([0.0, 0.0], [0.0, value], 0.0, canonicalize=False)
 
     @classmethod
     def identity(cls) -> "Curve":
         """The curve ``f(t) = t``."""
-        return cls([0.0], [0.0], 1.0, canonicalize=False)
+        return cls._build([0.0], [0.0], 1.0, canonicalize=False)
 
     @classmethod
     def affine(cls, rate: float, burst: float = 0.0) -> "Curve":
@@ -188,8 +235,13 @@ class Curve:
         if rate < 0 or burst < 0:
             raise CurveError("rate and burst must be non-negative")
         if burst == 0:
-            return cls([0.0], [0.0], rate, canonicalize=False)
-        return cls([0.0, 0.0], [0.0, burst], rate, canonicalize=False)
+            return cls._build([0.0], [0.0], rate, canonicalize=False)
+        return cls._build([0.0, 0.0], [0.0, burst], rate, canonicalize=False)
+
+    @classmethod
+    def from_token_bucket(cls, rate: float, burst: float = 0.0) -> "Curve":
+        """Stable-name alias of :meth:`affine` (``sigma = burst, rho = rate``)."""
+        return cls.affine(rate, burst)
 
     @classmethod
     def step_from_times(
@@ -204,97 +256,49 @@ class Curve:
         given times.  Simultaneous releases merge into a single taller jump.
         An empty time sequence yields the zero curve.
         """
-        ts = np.sort(_as_float_array(times)) if np.size(times) else np.empty(0)
-        if ts.size == 0:
+        raw = _backend.active_backend().step_from_times(times, height)
+        if raw is None:
             return cls.zero()
-        if ts[0] < -EPS:
-            raise CurveError("release times must be non-negative")
-        if height <= 0:
-            raise CurveError("step height must be positive")
-        ts = np.maximum(ts, 0.0)
-        uniq, counts = np.unique(ts, return_counts=True)
-        n = uniq.size
-        xs = np.empty(2 * n + 1)
-        ys = np.empty(2 * n + 1)
-        xs[0] = 0.0
-        ys[0] = 0.0
-        xs[1::2] = uniq
-        xs[2::2] = uniq
-        cum = np.cumsum(counts) * float(height)
-        ys[1::2] = np.concatenate(([0.0], cum[:-1]))
-        ys[2::2] = cum
-        return cls(xs, ys, 0.0)
+        xs, ys = raw
+        return cls._build(xs, ys, 0.0)
+
+    @classmethod
+    def from_staircase(cls, times: ArrayLike, height: float = 1.0) -> "Curve":
+        """Stable-name alias of :meth:`step_from_times`."""
+        return cls.step_from_times(times, height)
 
     # ------------------------------------------------------------------
-    # canonical form and invariants
+    # breakpoint access and invariants
     # ------------------------------------------------------------------
 
-    def _canonicalize(self) -> None:
-        """Normalize the breakpoint representation in place.
+    def breakpoints(self) -> Breakpoints:
+        """The curve's breakpoint arrays as a read-only named view."""
+        return Breakpoints(self._x, self._y)
 
-        * collapses runs of >2 points at the same (exactly equal) abscissa
-          to (first, last) -- jumps are encoded by *exact* duplicates only,
-          so canonicalization never moves a jump in time;
-        * removes zero-height duplicate points and collinear interior
-          points (within :data:`EPS` on values).
-        """
-        x, y = self.x, self.y
-        if x.size == 1:
-            return
-        # 1. For runs of exactly-equal abscissae keep only the first and
-        #    last point (y is non-decreasing, so these are the extremes).
-        first = np.empty(x.size, dtype=bool)
-        last = np.empty(x.size, dtype=bool)
-        first[0] = True
-        first[1:] = x[1:] != x[:-1]
-        last[-1] = True
-        last[:-1] = x[:-1] != x[1:]
-        keep = first | last
-        x = x[keep]
-        y = y[keep]
-        # 2. Drop the upper point of zero-height jumps.
-        if x.size > 1:
-            dup = np.empty(x.size, dtype=bool)
-            dup[0] = False
-            dup[1:] = (x[1:] == x[:-1]) & (y[1:] - y[:-1] <= EPS)
-            x = x[~dup]
-            y = y[~dup]
-        # 3. Remove collinear interior points (a few passes suffice: each
-        #    pass removes every point collinear with its immediate
-        #    neighbours, which covers straight runs in one go).
-        for _ in range(4):
-            if x.size < 3:
-                break
-            x0, y0 = x[:-2], y[:-2]
-            x1, y1 = x[1:-1], y[1:-1]
-            x2, y2 = x[2:], y[2:]
-            span = x2 - x0
-            # Only interior ramp points are candidates: a point sharing an
-            # abscissa with a neighbour is part of a jump and must stay
-            # (the cross-product test can underflow to a false positive on
-            # denormal segment widths).
-            collinear = (
-                (x1 > x0)
-                & (x2 > x1)
-                & (np.abs((y2 - y0) * (x1 - x0) - (y1 - y0) * span) <= EPS * span)
-            )
-            # Never drop both endpoints of adjacent triples in one pass;
-            # thin out alternating indices to stay safe.
-            collinear[1:] &= ~collinear[:-1]
-            if not np.any(collinear):
-                break
-            keep = np.ones(x.size, dtype=bool)
-            keep[1:-1] = ~collinear
-            x = x[keep]
-            y = y[keep]
-        # 4. Final point redundant if it continues the final slope.
-        if x.size >= 2 and x[-1] - x[-2] > EPS:
-            seg_slope = (y[-1] - y[-2]) / (x[-1] - x[-2])
-            if abs(seg_slope - self.final_slope) <= EPS:
-                x = x[:-1]
-                y = y[:-1]
-        self.x = np.ascontiguousarray(x)
-        self.y = np.ascontiguousarray(y)
+    @property
+    def final_slope(self) -> float:
+        """Slope of the curve beyond the last breakpoint."""
+        return self._final_slope
+
+    @property
+    def x(self):
+        """Deprecated alias of ``breakpoints().x``."""
+        warnings.warn(
+            "Curve.x is deprecated; use Curve.breakpoints().x",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._x
+
+    @property
+    def y(self):
+        """Deprecated alias of ``breakpoints().y``."""
+        warnings.warn(
+            "Curve.y is deprecated; use Curve.breakpoints().y",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._y
 
     def check_invariants(self) -> None:
         """Verify the class invariants, raising :class:`CurveError` if broken.
@@ -309,240 +313,100 @@ class Curve:
         * ``final_slope`` is finite and non-negative.
 
         Constructor clamping normally guarantees all of these; this method
-        exists so the audit harness (and any caller mutating breakpoint
-        arrays directly) can verify curves at use sites, activated globally
-        via :func:`set_audit_checks` / :func:`audit_checks`.
+        exists so the audit harness can verify curves at use sites,
+        activated globally via :func:`set_audit_checks` /
+        :func:`audit_checks`.
         """
-        x, y = self.x, self.y
-        if x.shape != y.shape or x.ndim != 1 or x.size == 0:
-            raise CurveError(
-                f"invariant: x/y must be equal-length non-empty 1-D arrays, "
-                f"got shapes {x.shape} and {y.shape}"
-            )
-        if not np.all(np.isfinite(x)) or not np.all(np.isfinite(y)):
-            raise CurveError("invariant: breakpoints must be finite")
-        if x[0] != 0.0:
-            raise CurveError(f"invariant: x[0] must be 0, got {x[0]}")
-        if x.size > 1:
-            if np.any(np.diff(x) < 0.0):
-                raise CurveError("invariant: x must be non-decreasing")
-            if np.any(np.diff(y) < 0.0):
-                raise CurveError("invariant: y must be non-decreasing")
-            if x.size > 2 and np.any((x[2:] == x[:-2])):
-                i = int(np.argmax(x[2:] == x[:-2]))
-                raise CurveError(
-                    f"invariant: abscissa {x[i]} appears more than twice"
-                )
-        if not math.isfinite(self.final_slope) or self.final_slope < 0.0:
-            raise CurveError(
-                f"invariant: final_slope must be finite and >= 0, "
-                f"got {self.final_slope}"
-            )
+        _backend.active_backend().check_invariants(
+            self._x, self._y, self._final_slope
+        )
 
     @property
     def n_breakpoints(self) -> int:
         """Number of stored breakpoints."""
-        return int(self.x.size)
+        return _arrays.size(self._x)
 
     @property
     def x_end(self) -> float:
         """Abscissa of the last breakpoint."""
-        return float(self.x[-1])
+        return float(self._x[-1])
 
     @property
     def y_end(self) -> float:
         """Value at the last breakpoint (right-continuous)."""
-        return float(self.y[-1])
+        return float(self._y[-1])
 
     def is_step(self, tol: float = EPS) -> bool:
         """True if the curve is piecewise constant (only jumps, no ramps)."""
-        if self.final_slope > tol:
-            return False
-        dx = np.diff(self.x)
-        dy = np.diff(self.y)
-        ramp = (dx > tol) & (dy > tol)
-        return not bool(np.any(ramp))
+        return _backend.active_backend().is_step(
+            self._x, self._y, self._final_slope, tol
+        )
 
     def is_continuous(self, tol: float = EPS) -> bool:
         """True if the curve has no jumps."""
-        dx = np.diff(self.x)
-        dy = np.diff(self.y)
-        jump = (dx <= tol) & (dy > tol)
-        return not bool(np.any(jump))
+        return _backend.active_backend().is_continuous(self._x, self._y, tol)
 
     def lipschitz_bound(self) -> float:
         """Maximum slope over all ramp segments (``inf`` if any jump)."""
         if not self.is_continuous():
             return math.inf
-        slopes = [self.final_slope]
-        dx = np.diff(self.x)
-        dy = np.diff(self.y)
-        mask = dx > EPS
-        if np.any(mask):
-            slopes.append(float(np.max(dy[mask] / dx[mask])))
-        return max(slopes)
+        return _backend.active_backend().lipschitz(
+            self._x, self._y, self._final_slope
+        )
 
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
 
-    def value(self, t: ArrayLike) -> Union[float, np.ndarray]:
+    def value(self, t: ArrayLike):
         """Right-continuous value(s) of the curve at time(s) ``t``.
 
         Values for ``t < 0`` are reported as ``f(0)``'s pre-jump value
         ``y[0]`` (callers should not query negative times; this keeps the
         function total).
         """
-        ts = np.asarray(t, dtype=float)
-        scalar = ts.ndim == 0
-        ts = np.atleast_1d(ts)
-        x, y = self.x, self.y
-        idx = np.searchsorted(x, ts, side="right") - 1
-        out = np.empty_like(ts)
-
-        below = idx < 0
-        out[below] = y[0]
-
-        last = idx >= x.size - 1
-        sel = last & ~below
-        out[sel] = y[-1] + self.final_slope * (ts[sel] - x[-1])
-
-        mid = ~below & ~last
-        if np.any(mid):
-            i = idx[mid]
-            x0 = x[i]
-            x1 = x[i + 1]
-            y0 = y[i]
-            y1 = y[i + 1]
-            dx = x1 - x0
-            # i is the last breakpoint with abscissa <= t, so x1 > x0 except
-            # for degenerate zero-width segments guarded here.
-            frac = np.where(dx > 0.0, (ts[mid] - x0) / np.where(dx > 0.0, dx, 1.0), 1.0)
-            out[mid] = y0 + frac * (y1 - y0)
+        scalar = _arrays.is_scalar(t)
+        out = _backend.active_backend().eval_right(
+            self._x, self._y, self._final_slope, _arrays.asarray(t)
+        )
         return float(out[0]) if scalar else out
 
-    def value_left(self, t: ArrayLike) -> Union[float, np.ndarray]:
+    def value_left(self, t: ArrayLike):
         """Left limit(s) ``f(t-)`` of the curve at time(s) ``t``.
 
         ``f(0-)`` is defined as the pre-jump value ``y[0]`` (zero for all
         cumulative curves built by this package).
         """
-        ts = np.asarray(t, dtype=float)
-        scalar = ts.ndim == 0
-        ts = np.atleast_1d(ts)
-        x, y = self.x, self.y
-        idx = np.searchsorted(x, ts, side="left") - 1
-        out = np.empty_like(ts)
-
-        below = idx < 0
-        out[below] = y[0]
-
-        last = idx >= x.size - 1
-        sel = last & ~below
-        out[sel] = y[-1] + self.final_slope * (ts[sel] - x[-1])
-
-        mid = ~below & ~last
-        if np.any(mid):
-            i = idx[mid]
-            x0 = x[i]
-            x1 = x[i + 1]
-            y0 = y[i]
-            y1 = y[i + 1]
-            dx = x1 - x0
-            frac = np.where(dx > 0.0, (ts[mid] - x0) / np.where(dx > 0.0, dx, 1.0), 1.0)
-            out[mid] = y0 + frac * (y1 - y0)
+        scalar = _arrays.is_scalar(t)
+        out = _backend.active_backend().eval_left(
+            self._x, self._y, self._final_slope, _arrays.asarray(t)
+        )
         return float(out[0]) if scalar else out
 
-    def first_crossing(self, v: ArrayLike) -> Union[float, np.ndarray]:
+    def first_crossing(self, v: ArrayLike):
         """Pseudo-inverse ``min{s : f(s) >= v}`` (paper Definition 5).
 
         Returns ``inf`` where the curve never reaches ``v``.  For a step
         curve built from release times, ``first_crossing(m)`` is exactly the
         release time of the ``m``-th instance (paper Eq. 3).
         """
-        vs = np.asarray(v, dtype=float)
-        scalar = vs.ndim == 0
-        vs = np.atleast_1d(vs).copy()
-        x, y = self.x, self.y
-        out = np.empty_like(vs)
-
-        # Allow for floating-point noise: a value within EPS of being
-        # reached counts as reached.
-        vq = vs - EPS
-
-        easy = vq <= y[0]
-        out[easy] = 0.0
-
-        # First breakpoint with y >= v.
-        idx = np.searchsorted(y, vq, side="left")
-        beyond = idx >= y.size
-        hard = beyond & ~easy
-        if np.any(hard):
-            if self.final_slope > EPS:
-                out[hard] = x[-1] + (vs[hard] - y[-1]) / self.final_slope
-            else:
-                out[hard] = np.inf
-
-        mid = ~easy & ~beyond
-        if np.any(mid):
-            j = idx[mid]
-            x0 = x[j - 1]
-            x1 = x[j]
-            y0 = y[j - 1]
-            y1 = y[j]
-            dy = y1 - y0
-            # Jump segment (x0 == x1): crossing happens exactly at the jump.
-            # Ramp segment: linear interpolation.
-            with np.errstate(divide="ignore", invalid="ignore"):
-                frac = np.where(dy > 0.0, (vs[mid] - y0) / np.where(dy > 0.0, dy, 1.0), 1.0)
-            frac = np.clip(frac, 0.0, 1.0)
-            out[mid] = x0 + frac * (x1 - x0)
-        out = np.maximum(out, 0.0)
+        scalar = _arrays.is_scalar(v)
+        out = _backend.active_backend().first_crossing(
+            self._x, self._y, self._final_slope, _arrays.asarray(v)
+        )
         return float(out[0]) if scalar else out
 
-    def last_below(self, v: ArrayLike) -> Union[float, np.ndarray]:
+    def last_below(self, v: ArrayLike):
         """Supremum of ``{t : f(t) <= v}`` (``inf`` when unbounded).
 
         The dual of :meth:`first_crossing`; used by the busy-window bounds
         to turn ``f(C) <= X`` into an upper bound on ``C``.  Returns 0 when
         even ``f(0) > v``.
         """
-        vs = np.asarray(v, dtype=float)
-        scalar = vs.ndim == 0
-        vs = np.atleast_1d(vs).copy()
-        x, y = self.x, self.y
-        out = np.empty_like(vs)
-        vq = vs + EPS
-
-        # First breakpoint with y > v (strictly): the bound lives just
-        # before it.
-        idx = np.searchsorted(y, vq, side="right")
-        beyond = idx >= y.size
-        if np.any(beyond):
-            sel = beyond
-            if self.final_slope > EPS:
-                out[sel] = x[-1] + np.maximum(vs[sel] - y[-1], 0.0) / self.final_slope
-            else:
-                out[sel] = np.inf
-
-        mid = ~beyond
-        if np.any(mid):
-            j = idx[mid]
-            first = j == 0
-            x0 = x[np.maximum(j - 1, 0)]
-            x1 = x[j]
-            y0 = y[np.maximum(j - 1, 0)]
-            y1 = y[j]
-            dy = y1 - y0
-            with np.errstate(divide="ignore", invalid="ignore"):
-                frac = np.where(
-                    dy > EPS, (vs[mid] - y0) / np.where(dy > EPS, dy, 1.0), 1.0
-                )
-            frac = np.clip(frac, 0.0, 1.0)
-            res = x0 + frac * (x1 - x0)
-            res = np.where(first, 0.0, res)
-            out[mid] = res
-        out = np.maximum(out, 0.0)
+        scalar = _arrays.is_scalar(v)
+        out = _backend.active_backend().last_below(
+            self._x, self._y, self._final_slope, _arrays.asarray(v)
+        )
         return float(out[0]) if scalar else out
 
     # ------------------------------------------------------------------
@@ -553,8 +417,11 @@ class Curve:
         """Return ``factor * f`` (factor must be ``>= 0``)."""
         if factor < 0:
             raise CurveError("scale factor must be non-negative")
-        return Curve(
-            self.x, self.y * factor, self.final_slope * factor, canonicalize=False
+        return Curve._build(
+            self._x,
+            _arrays.mul(self._y, factor),
+            self._final_slope * factor,
+            canonicalize=False,
         )
 
     def shift_x(self, delta: float) -> "Curve":
@@ -566,16 +433,21 @@ class Curve:
             raise CurveError("x-shift must be non-negative")
         if delta == 0:
             return self
-        base = float(self.y[0])
-        xs = np.concatenate(([0.0], self.x + delta))
-        ys = np.concatenate(([base], self.y))
-        return Curve(xs, ys, self.final_slope)
+        base = float(self._y[0])
+        xs = _arrays.concat([[0.0], _arrays.add(self._x, delta)])
+        ys = _arrays.concat([[base], self._y])
+        return Curve._build(xs, ys, self._final_slope)
 
     def shift_y(self, delta: float) -> "Curve":
         """Return ``f + delta`` for ``delta >= 0``."""
         if delta < 0:
             raise CurveError("y-shift must be non-negative")
-        return Curve(self.x, self.y + delta, self.final_slope, canonicalize=False)
+        return Curve._build(
+            self._x,
+            _arrays.add(self._y, delta),
+            self._final_slope,
+            canonicalize=False,
+        )
 
     def __add__(self, other: "Curve") -> "Curve":
         from .ops import sum_curves
@@ -586,14 +458,11 @@ class Curve:
     # structure queries
     # ------------------------------------------------------------------
 
-    def jump_times(self, tol: float = EPS) -> np.ndarray:
+    def jump_times(self, tol: float = EPS):
         """Abscissae of the curve's upward jumps, in increasing order."""
-        dx = np.diff(self.x)
-        dy = np.diff(self.y)
-        mask = (dx <= tol) & (dy > tol)
-        return self.x[1:][mask]
+        return _backend.active_backend().jump_times(self._x, self._y, tol)
 
-    def steps(self) -> Tuple[np.ndarray, np.ndarray]:
+    def steps(self):
         """Decompose a step curve into (piece boundaries, piece values).
 
         Returns arrays ``p`` and ``v`` such that the curve equals ``v[i]``
@@ -603,17 +472,16 @@ class Curve:
         """
         if not self.is_step():
             raise CurveError("steps() requires a piecewise-constant curve")
-        jumps = self.jump_times()
-        if jumps.size and jumps[0] <= EPS:
+        jumps = _arrays.tolist(self.jump_times())
+        if jumps and jumps[0] <= EPS:
             boundaries = jumps
         else:
-            boundaries = np.concatenate(([0.0], jumps)) if jumps.size else np.array([0.0])
-        if boundaries.size == 0 or boundaries[0] > EPS:
-            boundaries = np.concatenate(([0.0], boundaries))
-        boundaries = np.unique(np.maximum(boundaries, 0.0))
+            boundaries = [0.0] + jumps if jumps else [0.0]
+        if not boundaries or boundaries[0] > EPS:
+            boundaries = [0.0] + boundaries
+        boundaries = sorted(set(b if b > 0.0 else 0.0 for b in boundaries))
         values = self.value(boundaries)
-        values = np.atleast_1d(values)
-        return boundaries, values
+        return _arrays.asarray(boundaries), _arrays.asarray(values)
 
     def total_at(self, horizon: float) -> float:
         """Convenience alias for ``value(horizon)``."""
@@ -633,12 +501,10 @@ class Curve:
         m_max = int(math.floor(v_max / quantum + EPS))
         if m_max <= 0:
             return Curve.zero()
-        levels = quantum * np.arange(1, m_max + 1)
-        times = self.first_crossing(levels)
-        times = np.atleast_1d(times)
-        finite = np.isfinite(times)
-        times = times[finite]
-        if times.size == 0:
+        levels = [quantum * m for m in range(1, m_max + 1)]
+        times = _arrays.tolist(self.first_crossing(levels))
+        times = [t for t in times if math.isfinite(t)]
+        if not times:
             return Curve.zero()
         return Curve.step_from_times(times, 1.0)
 
@@ -646,31 +512,34 @@ class Curve:
     # comparison helpers (used heavily by the tests)
     # ------------------------------------------------------------------
 
-    def sample_points(self, extra: Iterable[float] = ()) -> np.ndarray:
+    def sample_points(self, extra: Iterable[float] = ()):
         """Breakpoints plus midpoints plus extras -- a witness grid.
 
         Two non-decreasing piecewise-linear curves are equal iff they agree
         on the union of their breakpoints and segment midpoints, which is
         what this grid provides for property tests.
         """
-        xs = [self.x]
-        if self.x.size > 1:
-            xs.append((self.x[:-1] + self.x[1:]) / 2.0)
-        xs.append(np.asarray(list(extra), dtype=float))
-        xs.append(np.asarray([self.x_end + 1.0]))
-        grid = np.unique(np.concatenate([a for a in xs if a.size]))
-        return grid[grid >= 0.0]
+        pts = list(_arrays.tolist(self._x))
+        if len(pts) > 1:
+            pts.extend(_arrays.tolist(_arrays.midpoints(self._x)))
+        pts.extend(float(v) for v in extra)
+        pts.append(self.x_end + 1.0)
+        grid = sorted(set(pts))
+        return _arrays.asarray([v for v in grid if v >= 0.0])
 
     def dominates(self, other: "Curve", tol: float = 1e-7) -> bool:
         """True if ``self(t) >= other(t) - tol`` for all ``t``."""
-        grid = np.unique(
-            np.concatenate([self.sample_points(), other.sample_points()])
+        grid = sorted(
+            set(
+                _arrays.tolist(self.sample_points())
+                + _arrays.tolist(other.sample_points())
+            )
         )
-        a = np.atleast_1d(self.value(grid))
-        b = np.atleast_1d(other.value(grid))
-        al = np.atleast_1d(self.value_left(grid))
-        bl = np.atleast_1d(other.value_left(grid))
-        return bool(np.all(a >= b - tol) and np.all(al >= bl - tol))
+        a = self.value(grid)
+        b = other.value(grid)
+        al = self.value_left(grid)
+        bl = other.value_left(grid)
+        return _arrays.all_ge(a, b, tol) and _arrays.all_ge(al, bl, tol)
 
     def approx_equal(self, other: "Curve", tol: float = 1e-7) -> bool:
         """True if the two curves agree pointwise within ``tol``."""
@@ -680,15 +549,16 @@ class Curve:
     # dunder / repr
     # ------------------------------------------------------------------
 
-    def __call__(self, t: ArrayLike) -> Union[float, np.ndarray]:
+    def __call__(self, t: ArrayLike):
         return self.value(t)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         pts = ", ".join(
-            f"({xi:g},{yi:g})" for xi, yi in zip(self.x[:6], self.y[:6])
+            f"({xi:g},{yi:g})" for xi, yi in zip(self._x[:6], self._y[:6])
         )
-        more = "..." if self.x.size > 6 else ""
+        n = _arrays.size(self._x)
+        more = "..." if n > 6 else ""
         return (
-            f"Curve([{pts}{more}], final_slope={self.final_slope:g}, "
-            f"n={self.x.size})"
+            f"Curve([{pts}{more}], final_slope={self._final_slope:g}, "
+            f"n={n})"
         )

@@ -89,7 +89,7 @@ def max_count_envelope(
         level += height
         xs.extend([float(d), float(d)])
         ys.extend([ys[-1], level])
-    return Curve(xs, ys, 0.0)
+    return Curve.from_breakpoints(xs, ys, 0.0)
 
 
 def leaky_bucket_envelope(rho: float, sigma: float) -> Curve:
@@ -112,7 +112,7 @@ def periodic_envelope(period: float, height: float = 1.0) -> Curve:
         xs.extend([k * period, k * period])
         ys.extend([ys[-1], (k + 1) * height])
     # Affine continuation dominates the staircase.
-    return Curve(xs, ys, height / period)
+    return Curve.from_breakpoints(xs, ys, height / period)
 
 
 def envelope_of(arrivals, height: float = 1.0, horizon: float = 200.0) -> Curve:
@@ -151,9 +151,10 @@ def envelope_of(arrivals, height: float = 1.0, horizon: float = 200.0) -> Curve:
         # approach the asymptotic period 1/x FROM BELOW, so the bare rate
         # line undercounts; the +2 cushion restores validity -- derivation
         # in tests/curves/test_envelope.py).
-        xs = np.concatenate([env.x, [env.x_end, env.x_end]])
-        ys = np.concatenate([env.y, [env.y_end, env.y_end + 2.0 * height]])
-        return Curve(xs, ys, arrivals.rate * height)
+        bp = env.breakpoints()
+        xs = np.concatenate([bp.x, [env.x_end, env.x_end]])
+        ys = np.concatenate([bp.y, [env.y_end, env.y_end + 2.0 * height]])
+        return Curve.from_breakpoints(xs, ys, arrivals.rate * height)
     raise TypeError(
         f"no envelope construction for {type(arrivals).__name__}; "
         f"use max_count_envelope on a concrete trace"
@@ -172,9 +173,15 @@ def leftover_service(
     """
     if rate != 1.0:
         # Scale time so the identity transform applies, then scale back.
-        scaled = Curve(alpha_hp.x * rate, alpha_hp.y, alpha_hp.final_slope / rate)
+        hp = alpha_hp.breakpoints()
+        scaled = Curve.from_breakpoints(
+            np.asarray(hp.x) * rate, hp.y, alpha_hp.final_slope / rate
+        )
         beta = identity_minus(scaled, lateness=blocking * rate, mode="upper")
-        return Curve(beta.x / rate, beta.y, beta.final_slope * rate)
+        bb = beta.breakpoints()
+        return Curve.from_breakpoints(
+            np.asarray(bb.x) / rate, bb.y, beta.final_slope * rate
+        )
     return identity_minus(alpha_hp, lateness=blocking, mode="upper")
 
 
@@ -190,7 +197,9 @@ def horizontal_deviation(alpha: Curve, beta: Curve, d_max: float = 1e9) -> float
         return math.inf
     # Candidate suprema occur at alpha's breakpoints (post-jump values)
     # and in the tail.
-    deltas = np.unique(np.concatenate([alpha.x, beta.x]))
+    deltas = np.unique(
+        np.concatenate([alpha.breakpoints().x, beta.breakpoints().x])
+    )
     values = np.atleast_1d(alpha.value(deltas))
     crossings = np.atleast_1d(beta.first_crossing(values))
     if np.any(np.isinf(crossings)):
@@ -226,11 +235,12 @@ def shift_envelope(alpha: Curve, delay: float) -> Curve:
         raise CurveError("delay must be non-negative")
     if delay == 0:
         return alpha
-    xs = np.maximum(alpha.x - delay, 0.0)
-    ys = alpha.y.copy()
+    bp = alpha.breakpoints()
+    xs = np.maximum(np.asarray(bp.x) - delay, 0.0)
+    ys = np.asarray(bp.y)
     # Points collapsing onto delta=0 keep only their maximal value.
     lead = float(alpha.value(delay))
     keep = xs > 0
     xs = np.concatenate(([0.0, 0.0], xs[keep]))
     ys = np.concatenate(([0.0, lead], ys[keep]))
-    return Curve(xs, ys, alpha.final_slope)
+    return Curve.from_breakpoints(xs, ys, alpha.final_slope)

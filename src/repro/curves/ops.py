@@ -15,6 +15,11 @@ over the constant pieces ``(p_j, v_j)`` of ``c``, the kernel becomes
 ``S(t) = B(t) + R(max(0, t - lag))``.  ``R`` is continuous, non-increasing
 and piecewise linear, so ``S`` is materialized exactly on the union of the
 breakpoints of ``B`` and the (lag-shifted) kinks of ``R``.
+
+This module is the *dispatch* layer: validation, memoization and
+observability live here, while the numerical kernels live in
+:mod:`repro.curves.backend` and are selected through the process-wide
+active backend (``numpy`` / ``python``, bit-identical by contract).
 """
 
 from __future__ import annotations
@@ -23,11 +28,10 @@ import math
 import time
 from typing import List, Sequence, Tuple
 
-import numpy as np
-
-from . import memo
+from . import _arrays, memo
 from ..obs import metrics as _obs_metrics
 from ..obs import trace as _obs_trace
+from .backend import active_backend, active_backend_name
 from .curve import EPS, Curve, CurveError
 
 __all__ = [
@@ -46,10 +50,11 @@ def _run_op(op: str, impl, *args):
     With neither an active metrics registry nor detail-level tracing this
     is a plain call -- one global load per operator application.  When
     enabled it times the computation into the ``repro_curve_op_seconds``
-    histogram and (under ``detail`` tracing) records one retroactive span
-    per computed operator, parented to whatever analysis span is open.
-    Cache *hits* deliberately get a counter but no span: the lookup is
-    cheaper than the span it would produce.
+    histogram (labelled with the active backend) and (under ``detail``
+    tracing) records one retroactive span per computed operator, parented
+    to whatever analysis span is open.  Cache *hits* deliberately get a
+    counter but no span: the lookup is cheaper than the span it would
+    produce.
     """
     registry = _obs_metrics.active_metrics()
     detail = _obs_trace.detail_enabled()
@@ -59,7 +64,9 @@ def _run_op(op: str, impl, *args):
     result = impl(*args)
     dt = time.perf_counter() - t0
     if registry is not None:
-        registry.observe("repro_curve_op_seconds", dt, op=op)
+        registry.observe(
+            "repro_curve_op_seconds", dt, op=op, backend=active_backend_name()
+        )
     if detail:
         _obs_trace.active_collector().record("curve." + op, t0, dt, {"op": op})
     return result
@@ -76,37 +83,6 @@ def _count_cache(op: str, hit: bool) -> None:
         registry.inc(name, op=op)
 
 
-def _union_grid(arrays: Sequence[np.ndarray], t_end: float = math.inf) -> np.ndarray:
-    parts = [np.asarray(a, dtype=float) for a in arrays if np.size(a)]
-    if not parts:
-        return np.array([0.0])
-    grid = np.unique(np.concatenate(parts))
-    grid = grid[(grid >= 0.0) & (grid <= t_end)]
-    if grid.size == 0 or grid[0] > 0.0:
-        grid = np.concatenate(([0.0], grid))
-    # NOTE: exact duplicates are already collapsed by np.unique; points
-    # closer than EPS must NOT be merged here -- a jump sitting just after
-    # a merged abscissa would be evaluated pre-jump and silently dropped.
-    return grid
-
-
-def _interleave(
-    xs: np.ndarray, left: np.ndarray, right: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Build breakpoint arrays emitting a jump wherever right > left."""
-    jump = right > left + EPS
-    n = xs.size + int(np.count_nonzero(jump))
-    out_x = np.empty(n)
-    out_y = np.empty(n)
-    pos = np.arange(xs.size) + np.concatenate(([0], np.cumsum(jump[:-1])))
-    out_x[pos] = xs
-    out_y[pos] = np.where(jump, left, right)
-    jpos = pos[jump] + 1
-    out_x[jpos] = xs[jump]
-    out_y[jpos] = right[jump]
-    return out_x, out_y
-
-
 def sum_curves(curves: Sequence[Curve]) -> Curve:
     """Pointwise sum of non-decreasing curves (exact).
 
@@ -120,29 +96,18 @@ def sum_curves(curves: Sequence[Curve]) -> Curve:
         return Curve.zero()
     if len(curves) == 1:
         return curves[0]
+    backend = active_backend()
     cache = memo.active_curve_cache()
     if cache is None:
-        return _run_op("sum_curves", _sum_curves_impl, curves)
+        return _run_op("sum_curves", backend.sum_curves, curves)
     key = memo.transform_key(b"sum_curves", curves, ())
     hit = cache.get(key)
     _count_cache("sum_curves", hit is not None)
     if hit is not None:
         return hit
-    result = _run_op("sum_curves", _sum_curves_impl, curves)
+    result = _run_op("sum_curves", backend.sum_curves, curves)
     cache.put(key, result)
     return result
-
-
-def _sum_curves_impl(curves: List[Curve]) -> Curve:
-    grid = _union_grid([c.x for c in curves])
-    left = np.zeros_like(grid)
-    right = np.zeros_like(grid)
-    for c in curves:
-        left += np.atleast_1d(c.value_left(grid))
-        right += np.atleast_1d(c.value(grid))
-    xs, ys = _interleave(grid, left, right)
-    fs = sum(c.final_slope for c in curves)
-    return Curve(xs, ys, fs)
 
 
 def min_curves(a: Curve, b: Curve) -> Curve:
@@ -151,44 +116,7 @@ def min_curves(a: Curve, b: Curve) -> Curve:
     Segment crossings are detected and inserted so the result is an exact
     piecewise-linear representation of ``min(a, b)``.
     """
-    grid = _union_grid([a.x, b.x])
-    # Insert crossing points inside segments where a - b changes sign.
-    seg_starts = grid
-    extra: List[float] = []
-    ar = np.atleast_1d(a.value(seg_starts))
-    br = np.atleast_1d(b.value(seg_starts))
-    for i in range(grid.size - 1):
-        x0, x1 = grid[i], grid[i + 1]
-        d0 = ar[i] - br[i]
-        d1 = float(a.value_left(x1)) - float(b.value_left(x1))
-        if (d0 > EPS and d1 < -EPS) or (d0 < -EPS and d1 > EPS):
-            # Linear difference on the open segment: interpolate the root.
-            t = x0 + (0.0 - d0) * (x1 - x0) / (d1 - d0)
-            if x0 + EPS < t < x1 - EPS:
-                extra.append(t)
-    # Tail crossing beyond the last breakpoint.
-    x_last = grid[-1]
-    da = float(a.value(x_last)) - float(b.value(x_last))
-    dslope = a.final_slope - b.final_slope
-    if abs(dslope) > EPS:
-        t = x_last - da / dslope
-        if t > x_last + EPS and math.isfinite(t):
-            extra.append(t)
-    if extra:
-        grid = _union_grid([grid, np.asarray(extra)])
-    left = np.minimum(
-        np.atleast_1d(a.value_left(grid)), np.atleast_1d(b.value_left(grid))
-    )
-    right = np.minimum(np.atleast_1d(a.value(grid)), np.atleast_1d(b.value(grid)))
-    xs, ys = _interleave(grid, left, right)
-    # Final slope: whichever curve is smaller at infinity.
-    if abs(dslope) <= EPS:
-        fs = min(a.final_slope, b.final_slope)
-    else:
-        fs = a.final_slope if dslope < 0 else b.final_slope
-    # Monotone guard (min of non-decreasing curves is non-decreasing; noise
-    # from crossings is clamped by Curve's constructor accumulate).
-    return Curve(xs, ys, fs)
+    return active_backend().min_curves(a, b)
 
 
 def identity_minus(total: Curve, lateness: float = 0.0, mode: str = "exact") -> Curve:
@@ -220,9 +148,12 @@ def identity_minus(total: Curve, lateness: float = 0.0, mode: str = "exact") -> 
         raise CurveError("lateness must be non-negative")
     if mode not in ("exact", "lower", "upper"):
         raise CurveError(f"unknown mode {mode!r}")
+    backend = active_backend()
     cache = memo.active_curve_cache()
     if cache is None:
-        return _run_op("identity_minus", _identity_minus_impl, total, lateness, mode)
+        return _run_op(
+            "identity_minus", backend.identity_minus, total, lateness, mode
+        )
     key = memo.transform_key(
         b"identity_minus:" + mode.encode(), (total,), (lateness,)
     )
@@ -230,205 +161,11 @@ def identity_minus(total: Curve, lateness: float = 0.0, mode: str = "exact") -> 
     _count_cache("identity_minus", hit is not None)
     if hit is not None:
         return hit
-    result = _run_op("identity_minus", _identity_minus_impl, total, lateness, mode)
+    result = _run_op(
+        "identity_minus", backend.identity_minus, total, lateness, mode
+    )
     cache.put(key, result)
     return result
-
-
-def _identity_minus_impl(total: Curve, lateness: float, mode: str) -> Curve:
-    if mode == "exact" and not total.is_continuous(tol=1e-7):
-        raise CurveError(
-            "exact availability transform requires a continuous total"
-        )
-    if mode == "exact" and total.final_slope > 1.0 + 1e-9:
-        raise CurveError(
-            "exact availability transform received a total with slope > 1"
-        )
-    grid = _union_grid([total.x, np.asarray([lateness])])
-    # Interleave left/right values so downward jumps of h (= upward jumps
-    # of `total`) are represented exactly before the monotone closure.
-    h_left = grid - lateness - np.atleast_1d(total.value_left(grid))
-    h_right = grid - lateness - np.atleast_1d(total.value(grid))
-    jump = h_left > h_right + EPS
-    n = grid.size + int(np.count_nonzero(jump))
-    xs = np.empty(n)
-    hs = np.empty(n)
-    pos = np.arange(grid.size) + np.concatenate(([0], np.cumsum(jump[:-1])))
-    xs[pos] = grid
-    hs[pos] = np.where(jump, h_left, h_right)
-    jpos = pos[jump] + 1
-    xs[jpos] = grid[jump]
-    hs[jpos] = h_right[jump]
-    # Insert *every* zero-upcrossing of h so max(0, h) is exact.  h can
-    # dip below zero repeatedly (each workload jump pushes it down); a
-    # clamped segment without its crossing breakpoint would interpolate
-    # as a chord from the clamp point straight to the next breakpoint,
-    # overestimating the availability there -- which, through
-    # ``last_below``, unsoundly *shrinks* the busy-window departure
-    # bounds built on this curve.
-    up = np.nonzero((hs[:-1] < -EPS) & (hs[1:] > EPS) & (np.diff(xs) > EPS))[0]
-    if up.size:
-        x0, x1 = xs[up], xs[up + 1]
-        h0, h1 = hs[up], hs[up + 1]
-        t = x0 - h0 * (x1 - x0) / (h1 - h0)
-        keep = (t > x0 + EPS) & (t < x1 - EPS)
-        xs = np.insert(xs, up[keep] + 1, t[keep])
-        hs = np.insert(hs, up[keep] + 1, 0.0)
-    if hs[-1] < -EPS:
-        # h ends below zero (the last workload jump pushed it under) and
-        # recovers only in the tail, at slope 1 - final_slope.  Without
-        # that crossing the clamped curve would start rising straight
-        # from the last breakpoint instead of from the true zero.
-        fs_h = 1.0 - total.final_slope
-        if fs_h > EPS:
-            x_last = xs[-1]
-            t = x_last - hs[-1] / fs_h
-            if t > x_last + EPS and math.isfinite(t):
-                xs = np.append(xs, t)
-                hs = np.append(hs, 0.0)
-    y = np.maximum(hs, 0.0)
-    dips = np.diff(y)
-    if mode == "exact" and bool(np.any(dips < -1e-7)):
-        raise CurveError(
-            "exact availability transform received a total with slope > 1"
-        )
-    # Close *any* dip beyond the constructor tolerance, not just the
-    # >1e-7 ones: dips in (EPS, 1e-7] used to slip through the closure
-    # and then crash Curve's monotonicity check.  In exact mode such a
-    # residual dip is float noise (real violations raised above), and the
-    # running maximum matches the constructor's own noise clamp.
-    fs = max(0.0, 1.0 - total.final_slope)
-    if bool(np.any(dips < -EPS)):
-        if mode == "lower":  # suffix minimum: non-decreasing, never above y
-            y = np.minimum.accumulate(y[::-1])[::-1]
-        else:  # upper (or exact-mode noise): exact running maximum
-            xs, y = _running_max_closure(xs, y, fs)
-    return Curve(xs, y, fs)
-
-
-def _running_max_closure(
-    xs: np.ndarray, y: np.ndarray, fs: float
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Exact running maximum of the piecewise-linear function ``(xs, y)``.
-
-    Taking the cumulative maximum at breakpoints alone is not enough:
-    after a drop, interpolating straight to the next kept point draws a
-    rising chord that lies *above* ``max(previous peak, h)`` between the
-    two points.  As a leftover *service* curve that overshoot is unsound
-    (it grants service the processor never guaranteed).  The true closure
-    is flat at the previous peak until ``h`` catches up, so insert that
-    catch-up point on every recovering segment, then take the cumulative
-    maximum.
-    """
-    m = np.maximum.accumulate(y)
-    prev_m = m[:-1]
-    rise = y[1:] - y[:-1]
-    dx = xs[1:] - xs[:-1]
-    cross = (y[:-1] < prev_m - EPS) & (y[1:] > prev_m + EPS) & (dx > EPS)
-    if bool(np.any(cross)):
-        idx = np.nonzero(cross)[0]
-        t = xs[idx] + (prev_m[idx] - y[idx]) * dx[idx] / rise[idx]
-        xs = np.insert(xs, idx + 1, t)
-        m = np.insert(m, idx + 1, prev_m[idx])
-    # Same reasoning in the tail: when the raw h ends below the running
-    # maximum, the closure is flat until h catches up at slope ``fs``.
-    gap = float(m[-1] - y[-1])
-    if gap > EPS and fs > 0:
-        t_catch = float(xs[-1]) + gap / fs
-        if math.isfinite(t_catch):
-            xs = np.append(xs, t_catch)
-            m = np.append(m, m[-1])
-    return xs, m
-
-
-def _running_min_branch(
-    B: Curve, c: Curve, t_end: float
-) -> Tuple[np.ndarray, np.ndarray, float]:
-    """Compute ``R(u) = min(0, min_{j: p_j < u}(v_j - B(min(u, p_{j+1}))))``.
-
-    Returns breakpoint arrays ``(u, R(u))`` on ``[0, t_end]`` plus the final
-    slope of ``R`` beyond ``t_end``.  ``R`` is continuous, non-increasing
-    and piecewise linear; its kinks occur at the piece boundaries of ``c``,
-    at breakpoints of ``B`` while ``R`` tracks the branch ``v_j - B(u)``,
-    and at the crossover points where a branch first dips below the running
-    minimum.
-    """
-    if not c.is_step():
-        raise CurveError("service transform requires a step workload curve")
-    p, v = c.steps()
-    # Clip pieces that start at or beyond the horizon.
-    mask = p < t_end - EPS
-    p = p[mask]
-    v = v[mask]
-    if p.size == 0:
-        p = np.array([0.0])
-        v = np.array([float(c.value(0.0))])
-    bounds = np.append(p, t_end)
-
-    # Vectorized pre-computation of the per-piece state:
-    #   m_i = min(0, min_{j < i} (v_j - B(bounds_{j+1})))
-    #   u*_i = first u with B(u) >= v_i - m_i  (branch crossover)
-    b_at_bounds = np.atleast_1d(B.value(bounds))
-    w = v - b_at_bounds[1:]
-    m_arr = np.empty(p.size)
-    m_arr[0] = 0.0
-    if p.size > 1:
-        m_arr[1:] = np.minimum(0.0, np.minimum.accumulate(w)[:-1])
-    lvl = v - m_arr
-    u_star_arr = np.atleast_1d(B.first_crossing(np.maximum(lvl, 0.0)))
-    u_star_arr[lvl <= EPS] = 0.0
-    # B values at B's own breakpoints (continuous => y at breakpoints).
-    bx, by = B.x, B.y
-    lo_idx = np.searchsorted(bx, np.maximum(u_star_arr, bounds[:-1]), side="right")
-    hi_idx = np.searchsorted(bx, bounds[1:], side="left")
-
-    us: List[float] = [0.0]
-    rs: List[float] = [0.0]
-    on_branch_at_end = False
-    for i in range(p.size):
-        a, b_hi = bounds[i], bounds[i + 1]
-        vi = v[i]
-        m = m_arr[i]
-        if b_hi - a <= EPS:
-            continue
-        u_star = min(max(float(u_star_arr[i]), a), b_hi)
-        if u_star > a + EPS:
-            us.append(u_star)
-            rs.append(m)
-            on_branch_at_end = False
-        if u_star < b_hi - EPS:
-            # Follow the branch vi - B(u) on (u_star, b_hi]; include B's
-            # interior breakpoints so the branch is piecewise exact.
-            for k in range(lo_idx[i], hi_idx[i]):
-                xbp = bx[k]
-                if xbp > us[-1] + EPS:
-                    us.append(float(xbp))
-                    rs.append(vi - float(by[k]))
-            us.append(b_hi)
-            rs.append(vi - float(b_at_bounds[i + 1]))
-            on_branch_at_end = True
-
-    u_arr = np.asarray(us)
-    r_arr = np.asarray(rs)
-    # R is non-increasing by construction; clamp floating noise.
-    np.minimum.accumulate(r_arr, out=r_arr)
-    # Deduplicate abscissae (keep the last = smallest value).
-    keep = np.concatenate((np.diff(u_arr) > EPS, [True]))
-    u_arr = u_arr[keep]
-    r_arr = r_arr[keep]
-    r_fs = -B.final_slope if on_branch_at_end else 0.0
-    return u_arr, r_arr, r_fs
-
-
-def _eval_piecewise(
-    xq: np.ndarray, xs: np.ndarray, ys: np.ndarray, final_slope: float
-) -> np.ndarray:
-    """Evaluate a continuous piecewise-linear table at query points."""
-    out = np.interp(xq, xs, ys)
-    beyond = xq > xs[-1]
-    if np.any(beyond):
-        out[beyond] = ys[-1] + final_slope * (xq[beyond] - xs[-1])
-    return out
 
 
 def service_transform(
@@ -468,38 +205,22 @@ def service_transform(
         raise CurveError("lag must be non-negative")
     if not math.isfinite(t_end):
         t_end = max(B.x_end, c.x_end) + 1.0
+    backend = active_backend()
     cache = memo.active_curve_cache()
     if cache is None:
-        return _run_op("service_transform", _service_transform_impl, B, c, lag, t_end)
+        return _run_op(
+            "service_transform", backend.service_transform, B, c, lag, t_end
+        )
     key = memo.transform_key(b"service_transform", (B, c), (lag, t_end))
     hit = cache.get(key)
     _count_cache("service_transform", hit is not None)
     if hit is not None:
         return hit
-    result = _run_op("service_transform", _service_transform_impl, B, c, lag, t_end)
+    result = _run_op(
+        "service_transform", backend.service_transform, B, c, lag, t_end
+    )
     cache.put(key, result)
     return result
-
-
-def _service_transform_impl(B: Curve, c: Curve, lag: float, t_end: float) -> Curve:
-    u_arr, r_arr, r_fs = _running_min_branch(B, c, max(t_end - lag, 0.0) + EPS)
-
-    grid = _union_grid(
-        [B.x, u_arr + lag, np.asarray([0.0, lag, t_end])], t_end=t_end
-    )
-    shifted = np.maximum(grid - lag, 0.0)
-    r_vals = _eval_piecewise(shifted, u_arr, r_arr, r_fs)
-    r_vals[shifted <= 0.0] = 0.0
-    s_vals = np.atleast_1d(B.value(grid)) + r_vals
-    s_vals = np.maximum(s_vals, 0.0)
-    np.maximum.accumulate(s_vals, out=s_vals)
-    if lag == 0.0:
-        fs = max(0.0, B.final_slope + r_fs)
-    else:
-        # Beyond the horizon a lagged lower bound is continued flat, which
-        # is sound for a lower bound (callers stay within t_end anyway).
-        fs = 0.0
-    return Curve(grid, s_vals, fs)
 
 
 def fcfs_utilization(G: Curve, t_end: float = math.inf) -> Curve:
@@ -533,29 +254,28 @@ def fcfs_service_bounds(
     """
     if U is None:
         U = fcfs_utilization(G, t_end=t_end)
-    p, gv = G.steps()
-    mask = p <= t_end + EPS
-    p = p[mask]
-    gv = np.atleast_1d(gv)[mask]
+    p_arr, gv_arr = G.steps()
+    p = _arrays.tolist(p_arr)
+    gv = _arrays.tolist(gv_arr)
+    pairs = [(pi, gi) for pi, gi in zip(p, gv) if pi <= t_end + EPS]
     # Drop the implicit zero-level piece at t=0 when G has no jump there.
-    levels = gv[gv > EPS]
-    times_of_batches = p[gv > EPS]
-    if levels.size == 0:
+    levels = [gi for _, gi in pairs if gi > EPS]
+    times_of_batches = [pi for pi, gi in pairs if gi > EPS]
+    if not levels:
         lower = Curve.zero()
         return lower, min_curves(lower.shift_y(tau), c)
-    t_done = np.atleast_1d(U.first_crossing(levels))
-    finite = np.isfinite(t_done) & (t_done <= t_end + EPS)
+    t_done = _arrays.tolist(U.first_crossing(levels))
     xs: List[float] = [0.0]
     ys: List[float] = [0.0]
-    for tb, pj, ok in zip(t_done, times_of_batches, finite):
-        if not ok:
+    for tb, pj in zip(t_done, times_of_batches):
+        if not (math.isfinite(tb) and tb <= t_end + EPS):
             break
         level_c = float(c.value(pj))
         if level_c > ys[-1] + EPS:
-            xs.append(float(tb))
+            xs.append(tb)
             ys.append(ys[-1])
-            xs.append(float(tb))
+            xs.append(tb)
             ys.append(level_c)
-    lower = Curve(np.asarray(xs), np.asarray(ys), 0.0)
+    lower = Curve._build(xs, ys, 0.0)
     upper = min_curves(lower.shift_y(tau), c)
     return lower, upper

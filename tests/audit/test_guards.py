@@ -22,30 +22,32 @@ from repro.sim import SimClock
 
 
 def test_check_invariants_accepts_well_formed_curve():
-    Curve([0.0, 1.0, 1.0, 2.0], [0.0, 1.0, 2.0, 3.0], final_slope=1.0).check_invariants()
+    Curve.from_breakpoints(
+        [0.0, 1.0, 1.0, 2.0], [0.0, 1.0, 2.0, 3.0], final_slope=1.0
+    ).check_invariants()
 
 
 def test_check_invariants_rejects_decreasing_values():
-    c = Curve([0.0, 1.0, 2.0], [0.0, 2.0, 3.0])
-    # Corrupt in place, as a buggy curve operation would.
-    c.x = np.array([0.0, 1.0, 2.0])
-    c.y = np.array([0.0, 2.0, 1.0])
+    c = Curve.from_breakpoints([0.0, 1.0, 2.0], [0.0, 2.0, 3.0])
+    # Corrupt the private storage in place, as a buggy kernel would.
+    c._x = np.array([0.0, 1.0, 2.0])
+    c._y = np.array([0.0, 2.0, 1.0])
     with pytest.raises(CurveError, match="non-decreasing"):
         c.check_invariants()
 
 
 def test_check_invariants_rejects_triple_abscissa():
-    c = Curve([0.0, 1.0], [0.0, 1.0])
-    c.x = np.array([0.0, 1.0, 1.0, 1.0])
-    c.y = np.array([0.0, 1.0, 2.0, 3.0])
+    c = Curve.from_breakpoints([0.0, 1.0], [0.0, 1.0])
+    c._x = np.array([0.0, 1.0, 1.0, 1.0])
+    c._y = np.array([0.0, 1.0, 2.0, 3.0])
     with pytest.raises(CurveError, match="more than twice"):
         c.check_invariants()
 
 
 def test_check_invariants_rejects_nonfinite_breakpoint():
-    c = Curve([0.0, 1.0], [0.0, 1.0])
-    c.x = np.array([0.0, 1.0])
-    c.y = np.array([0.0, math.nan])
+    c = Curve.from_breakpoints([0.0, 1.0], [0.0, 1.0])
+    c._x = np.array([0.0, 1.0])
+    c._y = np.array([0.0, math.nan])
     with pytest.raises(CurveError):
         c.check_invariants()
 
@@ -65,7 +67,7 @@ def test_audit_context_manager_scopes_the_flag():
     with audit_checks():
         assert audit_checks_enabled()
         # Constructing curves under the flag runs the invariant check.
-        Curve([0.0, 5.0], [0.0, 2.0], final_slope=0.5)
+        Curve.from_breakpoints([0.0, 5.0], [0.0, 2.0], final_slope=0.5)
     assert not audit_checks_enabled()
 
 
@@ -75,10 +77,10 @@ def test_constructor_checks_run_only_under_flag(monkeypatch):
     monkeypatch.setattr(
         Curve, "check_invariants", lambda self: calls.append(1) or original(self)
     )
-    Curve([0.0, 1.0], [0.0, 1.0])
+    Curve.from_breakpoints([0.0, 1.0], [0.0, 1.0])
     assert not calls
     with audit_checks():
-        Curve([0.0, 1.0], [0.0, 1.0])
+        Curve.from_breakpoints([0.0, 1.0], [0.0, 1.0])
     assert calls
 
 

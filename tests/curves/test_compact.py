@@ -37,7 +37,7 @@ def general_curves(draw):
     xs = np.concatenate(([0.0], np.cumsum(dx)))
     ys = np.concatenate(([0.0], np.cumsum(dy)))
     fs = draw(st.floats(min_value=0.0, max_value=2.0))
-    return Curve(xs, ys, fs)
+    return Curve.from_breakpoints(xs, ys, fs)
 
 
 any_curves = st.one_of(step_curves(), general_curves())
@@ -48,8 +48,10 @@ budgets = st.integers(min_value=MIN_BUDGET, max_value=40)
 
 
 def dense_grid(a: Curve, b: Curve):
-    t_end = float(max(a.x[-1], b.x[-1])) * 1.5 + 1.0
-    return np.unique(np.concatenate([np.linspace(0.0, t_end, 801), a.x, b.x]))
+    t_end = max(a.x_end, b.x_end) * 1.5 + 1.0
+    return np.unique(np.concatenate(
+        [np.linspace(0.0, t_end, 801), a.breakpoints().x, b.breakpoints().x]
+    ))
 
 
 def assert_direction(c: Curve, r: Curve, mode: str):
@@ -73,7 +75,7 @@ def assert_direction(c: Curve, r: Curve, mode: str):
 @given(any_curves, modes, budgets, shapes)
 def test_budget_direction_and_cap(c, mode, budget, shape):
     r = compact(c, mode, budget=budget, shape=shape)
-    assert r.x.size <= max(budget, c.x.size)
+    assert r.n_breakpoints <= max(budget, c.n_breakpoints)
     assert_direction(c, r, mode)
     assert r.final_slope == c.final_slope
 
@@ -90,10 +92,10 @@ def test_budget_step_shape_preserves_steps(c, mode, budget):
 def test_budget_idempotent_within_cap(c, mode, budget, shape):
     r = compact(c, mode, budget=budget, shape=shape)
     r2 = compact(r, mode, budget=budget, shape=shape)
-    assert r2.x.size <= max(budget, r.x.size)
+    assert r2.n_breakpoints <= max(budget, r.n_breakpoints)
     assert_direction(r, r2, mode)
     # a curve already within budget is returned untouched
-    assert compact(r2, mode, budget=max(budget, r2.x.size), shape=shape) is r2
+    assert compact(r2, mode, budget=max(budget, r2.n_breakpoints), shape=shape) is r2
 
 
 # -- error mode ------------------------------------------------------------
@@ -104,7 +106,7 @@ def test_budget_idempotent_within_cap(c, mode, budget, shape):
 def test_error_mode_bounds_deviation(c, mode, max_error):
     r = compact(c, mode, max_error=max_error)
     assert_direction(c, r, mode)
-    t_end = float(c.x[-1]) + 1.0
+    t_end = c.x_end + 1.0
     assert max_deviation(r, c, t_end) <= max_error + 1e-9
 
 

@@ -43,27 +43,27 @@ class TestConstruction:
 
     def test_domain_must_start_at_zero(self):
         with pytest.raises(CurveError):
-            Curve([1.0, 2.0], [0.0, 1.0])
+            Curve.from_breakpoints([1.0, 2.0], [0.0, 1.0])
 
     def test_decreasing_y_rejected(self):
         with pytest.raises(CurveError):
-            Curve([0.0, 1.0], [1.0, 0.0])
+            Curve.from_breakpoints([0.0, 1.0], [1.0, 0.0])
 
     def test_decreasing_x_rejected(self):
         with pytest.raises(CurveError):
-            Curve([0.0, 2.0, 1.0], [0.0, 1.0, 2.0])
+            Curve.from_breakpoints([0.0, 2.0, 1.0], [0.0, 1.0, 2.0])
 
     def test_negative_final_slope_rejected(self):
         with pytest.raises(CurveError):
-            Curve([0.0], [0.0], final_slope=-1.0)
+            Curve.from_breakpoints([0.0], [0.0], final_slope=-1.0)
 
     def test_mismatched_lengths_rejected(self):
         with pytest.raises(CurveError):
-            Curve([0.0, 1.0], [0.0])
+            Curve.from_breakpoints([0.0, 1.0], [0.0])
 
     def test_empty_rejected(self):
         with pytest.raises(CurveError):
-            Curve([], [])
+            Curve.from_breakpoints([], [])
 
 
 class TestStepFromTimes:
@@ -114,7 +114,7 @@ class TestStepFromTimes:
 
 class TestEvaluation:
     def test_ramp_interpolation(self):
-        f = Curve([0.0, 2.0], [0.0, 4.0], final_slope=1.0)
+        f = Curve.from_breakpoints([0.0, 2.0], [0.0, 4.0], final_slope=1.0)
         assert f.value(1.0) == pytest.approx(2.0)
         assert f.value(2.0) == pytest.approx(4.0)
         assert f.value(5.0) == pytest.approx(7.0)
@@ -134,7 +134,7 @@ class TestEvaluation:
         assert f(3.0) == 3.0
 
     def test_left_limit_on_ramp_equals_value(self):
-        f = Curve([0.0, 4.0], [0.0, 4.0], final_slope=0.0)
+        f = Curve.from_breakpoints([0.0, 4.0], [0.0, 4.0], final_slope=0.0)
         assert f.value_left(2.0) == pytest.approx(f.value(2.0))
 
 
@@ -159,7 +159,7 @@ class TestFirstCrossing:
         assert math.isinf(f.first_crossing(6.0))
 
     def test_tail_extrapolation(self):
-        f = Curve([0.0, 1.0], [0.0, 1.0], final_slope=2.0)
+        f = Curve.from_breakpoints([0.0, 1.0], [0.0, 1.0], final_slope=2.0)
         assert f.first_crossing(5.0) == pytest.approx(3.0)
 
     def test_vectorized(self):
@@ -170,7 +170,7 @@ class TestFirstCrossing:
 
     def test_galois_connection(self):
         # first_crossing(v) is the smallest s with f(s) >= v.
-        f = Curve([0.0, 1.0, 1.0, 3.0], [0.0, 1.0, 2.0, 2.0], final_slope=0.5)
+        f = Curve.from_breakpoints([0.0, 1.0, 1.0, 3.0], [0.0, 1.0, 2.0, 2.0], final_slope=0.5)
         for v in [0.3, 1.0, 1.7, 2.0, 2.4]:
             s = f.first_crossing(v)
             assert f.value(s) >= v - 1e-9
@@ -252,18 +252,18 @@ class TestStructure:
         assert math.isinf(Curve.step_from_times([1.0], 1.0).lipschitz_bound())
 
     def test_canonicalize_removes_collinear(self):
-        f = Curve([0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 2.0, 3.0], final_slope=1.0)
+        f = Curve.from_breakpoints([0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 2.0, 3.0], final_slope=1.0)
         assert f.n_breakpoints == 1
 
     def test_canonicalize_removes_zero_jumps(self):
-        f = Curve([0.0, 1.0, 1.0, 2.0], [0.0, 1.0, 1.0, 2.0], final_slope=1.0)
+        f = Curve.from_breakpoints([0.0, 1.0, 1.0, 2.0], [0.0, 1.0, 1.0, 2.0], final_slope=1.0)
         assert f.n_breakpoints == 1
 
 
 class TestComparison:
     def test_dominates(self):
         hi = Curve.identity()
-        lo = Curve([0.0, 10.0], [0.0, 5.0], final_slope=0.5)
+        lo = Curve.from_breakpoints([0.0, 10.0], [0.0, 5.0], final_slope=0.5)
         assert hi.dominates(lo)
         assert not lo.dominates(hi)
 

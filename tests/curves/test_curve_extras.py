@@ -29,7 +29,7 @@ class TestLastBelow:
         assert f.last_below(1.0) == 0.0
 
     def test_tail_extrapolation(self):
-        f = Curve([0.0, 2.0], [0.0, 1.0], final_slope=0.5)
+        f = Curve.from_breakpoints([0.0, 2.0], [0.0, 1.0], final_slope=0.5)
         # f(t) = 1 + 0.5 (t-2) beyond 2: f(t) <= 3 until t = 6.
         assert f.last_below(3.0) == pytest.approx(6.0)
 
@@ -39,7 +39,7 @@ class TestLastBelow:
         assert np.allclose(out, [1.0, 2.0, 3.0])
 
     def test_flat_segment_right_end(self):
-        f = Curve([0.0, 1.0, 5.0, 5.0], [0.0, 1.0, 1.0, 4.0], final_slope=0.0)
+        f = Curve.from_breakpoints([0.0, 1.0, 5.0, 5.0], [0.0, 1.0, 1.0, 4.0], final_slope=0.0)
         # f stays at 1 over [1, 5), jumps to 4 at 5: sup{f <= 1} = 5.
         assert f.last_below(1.0) == pytest.approx(5.0)
 
@@ -79,7 +79,7 @@ class TestShiftAndScaleEdges:
 
 class TestSamplingAndDominance:
     def test_sample_points_include_midpoints(self):
-        f = Curve([0.0, 4.0], [0.0, 4.0], final_slope=0.0)
+        f = Curve.from_breakpoints([0.0, 4.0], [0.0, 4.0], final_slope=0.0)
         pts = f.sample_points()
         assert 2.0 in pts
 
@@ -101,11 +101,11 @@ class TestSamplingAndDominance:
 class TestConstructorNoise:
     def test_tiny_negative_diffs_clamped(self):
         # y with 1e-12 dips from float noise must be accepted and clamped.
-        f = Curve([0.0, 1.0, 2.0], [0.0, 1.0, 1.0 - 1e-12], final_slope=0.0)
+        f = Curve.from_breakpoints([0.0, 1.0, 2.0], [0.0, 1.0, 1.0 - 1e-12], final_slope=0.0)
         vals = np.atleast_1d(f.value(np.linspace(0, 3, 13)))
         assert np.all(np.diff(vals) >= -1e-9)
 
     def test_three_points_same_abscissa_collapse(self):
-        f = Curve([0.0, 1.0, 1.0, 1.0], [0.0, 1.0, 2.0, 3.0], final_slope=0.0)
+        f = Curve.from_breakpoints([0.0, 1.0, 1.0, 1.0], [0.0, 1.0, 2.0, 3.0], final_slope=0.0)
         assert f.value(1.0) == 3.0
         assert f.value_left(1.0) == 1.0

@@ -49,7 +49,7 @@ class TestMaxCountEnvelope:
         for delta in [0.0, 0.5, 1.0, 3.0, 7.0, 20.0]:
             assert env.value(delta) >= window_counts(times, delta) - 1e-9
             # Tightness: equality at the envelope's own breakpoints.
-        for d in env.x:
+        for d in env.breakpoints().x:
             assert env.value(d) == pytest.approx(window_counts(times, float(d)))
 
     def test_burst_trace(self):

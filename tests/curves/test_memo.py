@@ -31,15 +31,15 @@ def _step(times, height=1.0):
 
 class TestTokens:
     def test_equal_curves_share_token(self):
-        a = Curve([0.0, 1.0, 3.0], [0.0, 1.0, 2.0], 0.5)
-        b = Curve([0.0, 1.0, 3.0], [0.0, 1.0, 2.0], 0.5)
+        a = Curve.from_breakpoints([0.0, 1.0, 3.0], [0.0, 1.0, 2.0], 0.5)
+        b = Curve.from_breakpoints([0.0, 1.0, 3.0], [0.0, 1.0, 2.0], 0.5)
         assert a is not b
         assert _curve_token(a) == _curve_token(b)
 
     def test_different_curves_differ(self):
-        a = Curve([0.0, 1.0], [0.0, 1.0], 0.0)
-        b = Curve([0.0, 1.0], [0.0, 2.0], 0.0)
-        c = Curve([0.0, 1.0], [0.0, 1.0], 1.0)
+        a = Curve.from_breakpoints([0.0, 1.0], [0.0, 1.0], 0.0)
+        b = Curve.from_breakpoints([0.0, 1.0], [0.0, 2.0], 0.0)
+        c = Curve.from_breakpoints([0.0, 1.0], [0.0, 1.0], 1.0)
         tokens = {_curve_token(x) for x in (a, b, c)}
         assert len(tokens) == 3
 
@@ -60,8 +60,8 @@ class TestCacheSemantics:
             first = service_transform(B, c, 0.5, 30.0)
             second = service_transform(B, c, 0.5, 30.0)
         assert second is first  # hit returns the cached instance
-        assert np.array_equal(first.x, plain.x)
-        assert np.array_equal(first.y, plain.y)
+        assert np.array_equal(first.breakpoints().x, plain.breakpoints().x)
+        assert np.array_equal(first.breakpoints().y, plain.breakpoints().y)
         assert first.final_slope == plain.final_slope
         assert cache.stats().hits == 1
         assert cache.stats().misses >= 1
@@ -97,7 +97,7 @@ class TestCacheSemantics:
             before = cache.stats().misses
             again = service_transform(Curve.identity(), _step([0.0]), 0.0, 10.0)
         assert cache.stats().misses == before + 1
-        assert np.array_equal(again.x, c1.x)
+        assert np.array_equal(again.breakpoints().x, c1.breakpoints().x)
 
     def test_context_manager_restores_prior(self):
         outer = enable_curve_cache(16)

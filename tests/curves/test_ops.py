@@ -62,8 +62,8 @@ class TestMinCurves:
         assert m.value(10.0) == pytest.approx(3.0)
 
     def test_crossing_point_inserted(self):
-        a = Curve([0.0], [0.0], final_slope=2.0)
-        b = Curve([0.0, 0.0], [0.0, 3.0], final_slope=0.5)
+        a = Curve.from_breakpoints([0.0], [0.0], final_slope=2.0)
+        b = Curve.from_breakpoints([0.0, 0.0], [0.0, 3.0], final_slope=0.5)
         m = min_curves(a, b)
         # a=2t, b=3+t/2 cross at t=2 -> value 4.
         assert m.value(2.0) == pytest.approx(4.0)
@@ -85,7 +85,7 @@ class TestMinCurves:
         assert min_curves(a, b).approx_equal(min_curves(b, a))
 
     def test_tail_crossing(self):
-        a = Curve([0.0, 1.0], [0.0, 5.0], final_slope=0.0)
+        a = Curve.from_breakpoints([0.0, 1.0], [0.0, 5.0], final_slope=0.0)
         b = Curve.identity()
         m = min_curves(a, b)
         # b=t overtaken by a=5 at t=5.
@@ -106,7 +106,7 @@ class TestIdentityMinus:
 
     def test_subtract_service(self):
         # Higher-priority service: ramp [0,2] then flat.
-        s = Curve([0.0, 2.0], [0.0, 2.0], final_slope=0.0)
+        s = Curve.from_breakpoints([0.0, 2.0], [0.0, 2.0], final_slope=0.0)
         b = identity_minus(s)
         assert b.value(1.0) == pytest.approx(0.0)
         assert b.value(2.0) == pytest.approx(0.0)
@@ -117,14 +117,14 @@ class TestIdentityMinus:
             identity_minus(Curve.step_from_times([1.0], 1.0), mode="exact")
 
     def test_exact_mode_rejects_superunit_slope(self):
-        fast = Curve([0.0], [0.0], final_slope=2.0)
+        fast = Curve.from_breakpoints([0.0], [0.0], final_slope=2.0)
         with pytest.raises(CurveError):
             identity_minus(fast, mode="exact")
 
     def test_lower_mode_suffix_min(self):
         # total with slope 2 on [0,1]: h dips; lower closure must never
         # exceed the raw values.
-        total = Curve([0.0, 1.0, 1.0, 2.0], [0.0, 0.0, 0.0, 2.0], final_slope=0.0)
+        total = Curve.from_breakpoints([0.0, 1.0, 1.0, 2.0], [0.0, 0.0, 0.0, 2.0], final_slope=0.0)
         b = identity_minus(total, mode="lower")
         raw = lambda t: max(0.0, t - float(total.value(t)))
         for t in [0.0, 0.5, 1.0, 1.5, 2.0, 3.0]:
@@ -134,7 +134,7 @@ class TestIdentityMinus:
         assert np.all(np.diff(vals) >= -1e-9)
 
     def test_upper_mode_running_max(self):
-        total = Curve([0.0, 1.0, 1.0, 2.0], [0.0, 0.0, 0.0, 2.0], final_slope=0.0)
+        total = Curve.from_breakpoints([0.0, 1.0, 1.0, 2.0], [0.0, 0.0, 0.0, 2.0], final_slope=0.0)
         b = identity_minus(total, mode="upper")
         raw = lambda t: max(0.0, t - float(total.value(t)))
         for t in [0.0, 0.5, 1.0, 1.5, 2.0, 3.0]:
@@ -149,7 +149,7 @@ class TestIdentityMinus:
         # to the next breakpoint would overstate the curve there, which
         # as a leftover service curve is unsound (found by `repro audit`:
         # it let Stationary/NC under-bound a simulated response).
-        total = Curve([0.0, 0.0, 2.0, 2.0], [0.0, 0.5, 0.5, 1.5], final_slope=0.0)
+        total = Curve.from_breakpoints([0.0, 0.0, 2.0, 2.0], [0.0, 0.5, 0.5, 1.5], final_slope=0.0)
         b = identity_minus(total, mode="upper")
         assert b.value(2.0) == pytest.approx(1.5)  # pre-drop peak kept
         assert b.value(2.5) == pytest.approx(1.5)  # flat, NOT a chord
@@ -173,7 +173,7 @@ class TestIdentityMinus:
         # second segment interpolating as a chord above the true curve,
         # which unsoundly shrinks busy-window bounds built via
         # `last_below` (found by `repro audit` on SPP/App hop bounds).
-        total = Curve([0.0, 0.0, 2.0, 2.0], [0.0, 1.0, 1.0, 2.5], final_slope=0.0)
+        total = Curve.from_breakpoints([0.0, 0.0, 2.0, 2.0], [0.0, 1.0, 1.0, 2.5], final_slope=0.0)
         lo = identity_minus(total, mode="lower")
         # First clamp: h < 0 until t=1; second clamp: h(2) = -0.5 < 0
         # until t=2.5.  The suffix-min closure flattens everything before
@@ -245,7 +245,7 @@ class TestServiceTransform:
 
     def test_service_never_exceeds_availability(self):
         c = Curve.step_from_times([0.0, 0.5, 1.0, 7.0], 1.5)
-        b = Curve([0.0, 4.0], [0.0, 2.0], final_slope=1.0)
+        b = Curve.from_breakpoints([0.0, 4.0], [0.0, 2.0], final_slope=1.0)
         s = service_transform(b, c, t_end=30.0)
         for t in np.linspace(0, 30, 61):
             assert s.value(t) <= b.value(t) + 1e-9
@@ -259,7 +259,7 @@ class TestServiceTransform:
     def test_monotone_output(self):
         c = Curve.step_from_times([0.0, 0.1, 5.0], 1.0)
         b = identity_minus(
-            Curve([0.0, 2.0, 4.0], [0.0, 1.5, 2.0], final_slope=0.3), mode="upper"
+            Curve.from_breakpoints([0.0, 2.0, 4.0], [0.0, 1.5, 2.0], final_slope=0.3), mode="upper"
         )
         s = service_transform(b, c, lag=0.7, t_end=30.0)
         vals = np.atleast_1d(s.value(np.linspace(0, 30, 301)))

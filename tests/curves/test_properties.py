@@ -50,13 +50,13 @@ def continuous_curves(draw):
     xs = np.concatenate(([0.0], np.cumsum(dx)))
     ys = np.concatenate(([0.0], np.cumsum(np.asarray(slopes) * np.asarray(dx))))
     fs = draw(st.floats(min_value=0.0, max_value=1.0))
-    return Curve(xs, ys, fs)
+    return Curve.from_breakpoints(xs, ys, fs)
 
 
 def eval_grid(*curves, t_max=80.0, n=160):
     pts = [np.linspace(0.0, t_max, n)]
     for c in curves:
-        pts.append(c.x)
+        pts.append(c.breakpoints().x)
     grid = np.unique(np.concatenate(pts))
     return grid[grid <= t_max]
 
@@ -90,7 +90,8 @@ def test_first_crossing_galois(c, v):
 
 @given(step_curves())
 def test_canonical_roundtrip(c):
-    c2 = Curve(c.x, c.y, c.final_slope)
+    bp = c.breakpoints()
+    c2 = Curve.from_breakpoints(bp.x, bp.y, c.final_slope)
     assert c2.approx_equal(c)
 
 
@@ -163,7 +164,7 @@ def test_service_transform_full_availability_is_busy_period(c):
     if total > 0:
         done = s.first_crossing(total)
         # Work-conserving: done <= last arrival + total work.
-        jumps = c.jump_times()
+        jumps = np.atleast_1d(np.asarray(c.jump_times()))
         assert done <= (jumps[-1] if jumps.size else 0.0) + total + 1e-6
         # And no earlier than total work.
         assert done >= total - 1e-9
@@ -202,7 +203,8 @@ def test_fcfs_bounds_bracket_and_cap(flows):
     assert np.all(uv <= gv + 1e-7)
     assert np.all(np.diff(uv) >= -1e-9)
     c = flows[0]
-    tau = float(np.diff(c.y).max()) if c.y.size > 1 else 1.0
+    cy = np.asarray(c.breakpoints().y)
+    tau = float(np.diff(cy).max()) if cy.size > 1 else 1.0
     assume(tau > 0)
     lo, up = fcfs_service_bounds(c, g, tau, t_end=150.0, U=u)
     lov = np.atleast_1d(lo.value(grid))
@@ -222,7 +224,7 @@ def test_fcfs_single_flow_lower_bound_is_exact_completion(c):
     the lower bound's crossings match the exact kernel's."""
     total = float(c.value(1e6))
     assume(total > 0)
-    heights = np.diff(c.y)
+    heights = np.diff(np.asarray(c.breakpoints().y))
     tau = float(heights[heights > 1e-12].min())
     lo, _up = fcfs_service_bounds(c, c, tau, t_end=300.0)
     exact = service_transform(Curve.identity(), c, t_end=300.0)

@@ -1,0 +1,118 @@
+"""Zero-dependency operation: the curves package without NumPy.
+
+``REPRO_CURVES_PURE_PYTHON=1`` makes :mod:`repro.curves._arrays` behave
+as if NumPy were not importable (tuple storage, python backend only),
+which is how the package runs on a bare interpreter.  These tests drive
+that mode in subprocesses -- the flag is read at import time, so it
+cannot be toggled in-process -- and check that construction, the kernel
+surface, and backend selection all behave.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _run_pure(code: str) -> subprocess.CompletedProcess:
+    env = {
+        **os.environ,
+        "REPRO_CURVES_PURE_PYTHON": "1",
+        "PYTHONPATH": "src",
+    }
+    env.pop("REPRO_CURVE_BACKEND", None)
+    return subprocess.run(
+        [sys.executable, "-c", textwrap.dedent(code)],
+        env=env,
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+
+
+def test_python_backend_is_the_only_backend():
+    out = _run_pure(
+        """
+        from repro.curves import (
+            active_backend_name, available_backends, default_backend_name,
+        )
+        assert available_backends() == ("python",), available_backends()
+        assert default_backend_name() == "python"
+        assert active_backend_name() == "python"
+        from repro.curves.backend import BackendError, get_backend
+        try:
+            get_backend("numpy")
+        except BackendError:
+            pass
+        else:
+            raise AssertionError("numpy backend should be unavailable")
+        print("ok")
+        """
+    )
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip() == "ok"
+
+
+def test_kernels_run_without_numpy():
+    out = _run_pure(
+        """
+        from repro.curves import (
+            Curve, identity_minus, service_transform, sum_curves,
+        )
+        from repro.curves.ops import fcfs_service_bounds, min_curves
+
+        c = Curve.step_from_times([0.0, 1.0, 2.0], 0.5)
+        assert c.value(2.0) == 1.5
+        assert c.value_left(1.0) == 0.5
+        assert c.first_crossing(1.0) == 1.0
+        assert c.last_below(10.0) == float("inf")
+
+        total = sum_curves([c, Curve.step_from_times([0.5], 0.25)])
+        assert total.value(2.0) == 1.75
+
+        ramp = Curve.from_breakpoints([0.0, 4.0], [0.0, 2.0], 0.5)
+        avail = identity_minus(ramp)
+        s = service_transform(avail, c, 0.0, 20.0)
+        assert s.value(20.0) > 0
+        m = min_curves(c, ramp)
+        lo, up = fcfs_service_bounds(c, total, 0.5, 20.0)
+        assert up.dominates(lo)
+        print("ok")
+        """
+    )
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip() == "ok"
+
+
+def test_breakpoint_storage_is_plain_tuples():
+    out = _run_pure(
+        """
+        from repro.curves import Curve
+        bp = Curve.from_breakpoints([0.0, 1.0], [0.0, 2.0]).breakpoints()
+        assert type(bp.x) is tuple and type(bp.y) is tuple, (bp.x, bp.y)
+        assert all(type(v) is float for v in bp.x + bp.y)
+        print("ok")
+        """
+    )
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip() == "ok"
+
+
+def test_requesting_numpy_backend_fails_loudly():
+    out = _run_pure(
+        """
+        from repro.analysis.options import AnalysisOptions, backend_scope
+        from repro.curves.backend import BackendError
+        try:
+            with backend_scope(AnalysisOptions(backend="numpy")):
+                pass
+        except BackendError as exc:
+            assert "numpy" in str(exc)
+            print("ok")
+        """
+    )
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip() == "ok"
