@@ -12,7 +12,6 @@ per-job bound loosening, breakpoint/cache statistics, and writing
 """
 
 import argparse
-import json
 import statistics
 import sys
 import time
@@ -29,6 +28,7 @@ from repro.analysis import (
     SppExactAnalysis,
     SpnpApproxAnalysis,
 )
+from repro.ioutil import write_json_atomic
 from repro.model import System, assign_priorities_proportional_deadline
 from repro.sim import simulate
 from repro.workloads import ShopTopology, generate_periodic_jobset
@@ -211,7 +211,7 @@ def main(argv=None) -> int:
         return 2
     if args.json:
         out = REPO_ROOT / "BENCH_analysis.json"
-        out.write_text(json.dumps(report, indent=2, default=str) + "\n")
+        write_json_atomic(out, report, indent=2, default=str)
         print(f"wrote {out}")
     if args.min_speedup is not None and report["speedup"] < args.min_speedup:
         print(

@@ -16,18 +16,26 @@ no-op promise: the fully instrumented engine (tracing + metrics enabled
 in the parent) must stay within 5% of the disabled run, measured as the
 min over several repeats to damp scheduler noise.
 
+A fourth, ``journal-overhead``, guards the write-ahead journal the same
+way: a journaled campaign over the breakpoint-heavy bursty fixture
+(16 jobs x 2000 instances, see ``bench_analysis.bursty_fixture``) must
+stay within 5% of the identical campaign with ``journal=None``.
+
 Metrics (wall times, speedup, cache hit rates) are written to
 ``benchmarks/results/batch_engine.txt``.  Also runnable standalone:
-``PYTHONPATH=src python benchmarks/bench_batch.py [--obs-overhead]``.
+``PYTHONPATH=src python benchmarks/bench_batch.py
+[--obs-overhead | --journal-overhead]``.
 """
 
 import os
 import sys
+import tempfile
 import time
 
 import numpy as np
 
 from repro.analysis import make_analyzer
+from repro.analysis.options import AnalysisOptions
 from repro.batch import BatchEngine, BatchItem
 from repro.curves import disable_curve_cache
 from repro.experiments.admission import system_for_method
@@ -139,6 +147,69 @@ def _obs_overhead(items, repeats: int = 5, budget: float = 1.05) -> float:
     return ratio
 
 
+def _bursty_items(n_items: int = 3):
+    """The 16x2000 bursty fixture as a small journaling campaign.
+
+    The systems are breakpoint-heavy (the journal's worst case relative
+    to its own cost: big analysis payloads to serialize), analyzed under
+    a compaction budget so the campaign stays bench-sized.  WCETs are
+    perturbed so every item is a distinct analysis, not a cache hit --
+    the ratio must compare journal cost against real per-item work.
+    """
+    from bench_analysis import bursty_fixture
+
+    options = AnalysisOptions(compact_budget=64)
+    return [
+        BatchItem(
+            system=bursty_fixture(wcet=0.1 + 0.001 * i),
+            method="SPP/Exact",
+            options=options,
+            item_id=f"bursty{i}",
+        )
+        for i in range(n_items)
+    ]
+
+
+def _journal_overhead(items, repeats: int = 3, budget: float = 1.05) -> float:
+    """Journaled-vs-plain campaign wall time; returns the ratio.
+
+    Fresh engines on both sides (cold serial caches) so the only delta
+    is the journal itself: digesting every item, framing + CRC per
+    record, flushing and interval-fsyncing the file.
+    """
+    baseline = [r.schedulable for r in BatchEngine(use_cache=True).run(items)]
+
+    t_off = _min_time(lambda: BatchEngine(use_cache=True).run(items), repeats)
+
+    tmpdir = tempfile.mkdtemp(prefix="bench-journal-")
+    counter = {"n": 0}
+    last: list = []
+
+    def journaled():
+        counter["n"] += 1
+        path = os.path.join(tmpdir, f"run{counter['n']}.wal")
+        report = BatchEngine(use_cache=True, journal=path).run(items)
+        os.unlink(path)
+        last[:] = [r.schedulable for r in report]
+
+    t_on = _min_time(journaled, repeats)
+    os.rmdir(tmpdir)
+
+    assert last == baseline, "journaling must not change verdicts"
+    ratio = t_on / t_off if t_off else float("inf")
+    _lines.append(
+        f"journal-overhead: plain {t_off:.3f}s, journaled {t_on:.3f}s "
+        f"-> ratio {ratio:.3f} (min of {repeats}, budget {budget:.2f})"
+    )
+    print(_lines[-1])
+    write_result("batch_engine.txt", "\n".join(_lines) + "\n")
+    assert ratio < budget, (
+        f"journal overhead {100 * (ratio - 1):.1f}% exceeds "
+        f"{100 * (budget - 1):.0f}% budget"
+    )
+    return ratio
+
+
 def test_batch_sweep_speedup(benchmark):
     items = _make_items(n_sets=8, seed=2024)
     engine = BatchEngine(n_workers=4, use_cache=True)
@@ -168,15 +239,27 @@ def test_obs_overhead_within_budget(benchmark):
     assert ratio < 1.05
 
 
+def test_journal_overhead_within_budget(benchmark):
+    items = _bursty_items()
+    ratio = benchmark.pedantic(
+        _journal_overhead, args=(items,), rounds=1, iterations=1
+    )
+    assert ratio < 1.05
+
+
 def main() -> None:
     if "--obs-overhead" in sys.argv:
         _obs_overhead(_make_items(n_sets=4, seed=2026))
+        return
+    if "--journal-overhead" in sys.argv:
+        _journal_overhead(_bursty_items())
         return
     items = _make_items(n_sets=8, seed=2024)
     _compare("sweep", items, BatchEngine(n_workers=4, use_cache=True))
     items = _make_items(n_sets=6, seed=2025, passes=4)
     _compare("revalidation", items, BatchEngine(n_workers=1, use_cache=True))
     _obs_overhead(_make_items(n_sets=4, seed=2026))
+    _journal_overhead(_bursty_items())
 
 
 if __name__ == "__main__":

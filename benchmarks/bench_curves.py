@@ -11,7 +11,6 @@ breakpoint counts and certified deviations, and writes
 """
 
 import argparse
-import json
 import statistics
 import sys
 import time
@@ -29,6 +28,7 @@ from repro.curves import (
     service_transform,
     sum_curves,
 )
+from repro.ioutil import write_json_atomic
 
 
 def periodic_workload(n_instances: int, period: float = 1.0, tau: float = 0.4) -> Curve:
@@ -259,7 +259,7 @@ def main(argv=None) -> int:
         print(f"backend {name}: {fields}")
     if args.json:
         out = REPO_ROOT / "BENCH_curves.json"
-        out.write_text(json.dumps(report, indent=2, default=str) + "\n")
+        write_json_atomic(out, report, indent=2, default=str)
         print(f"wrote {out}")
     if args.min_backend_speedup is not None:
         gated = report["backends"].get("service_transform_n10000", {})

@@ -14,6 +14,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.ioutil import write_text_atomic
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Paper scale (1000 sets/point) when REPRO_FULL=1, laptop scale otherwise.
@@ -32,5 +34,5 @@ def results_dir() -> Path:
 
 def write_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / name).write_text(text)
+    write_text_atomic(RESULTS_DIR / name, text, durable=False)
     print(text)

@@ -20,10 +20,10 @@ and doubles as a regression corpus entry.
 from __future__ import annotations
 
 import copy
-import json
 import os
 from typing import Any, Callable, Dict, List, Optional
 
+from ..ioutil import write_json_atomic
 from ..model.io import SystemFormatError, system_from_dict
 
 __all__ = [
@@ -159,10 +159,11 @@ def make_artifact(
 
 
 def save_artifact(artifact: Dict[str, Any], directory: str, name: str) -> str:
-    """Write an artifact JSON under ``directory``; returns the path."""
+    """Write an artifact JSON under ``directory``; returns the path.
+
+    Atomic (temp file + rename): a run killed mid-save never leaves a
+    truncated counterexample that would poison the regression corpus.
+    """
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"{name}.json")
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(artifact, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    return path
+    return write_json_atomic(path, artifact, indent=2, sort_keys=True)

@@ -5,27 +5,46 @@ admission-probability sweeps, the figure runners, the ``python -m repro
 batch`` CLI) funnels through: it fans ``(system, method)`` items across a
 process pool with chunking, per-item timeouts, per-worker curve-cache
 memoization and structured failure records.  See
-:mod:`repro.batch.engine` for the full contract.
+:mod:`repro.batch.engine` for the full contract, and
+``docs/robustness.md`` for the fault-tolerance layer: the write-ahead
+:class:`~repro.batch.journal.BatchJournal` for crash-resumable campaigns
+and the :class:`~repro.batch.retry.RetryPolicy` for bounded retry with
+backoff, quarantine and graceful degradation.
 """
 
 from .engine import (
     STATUS_CRASH,
     STATUS_ERROR,
     STATUS_OK,
+    STATUS_QUARANTINED,
     STATUS_TIMEOUT,
     BatchEngine,
     BatchItem,
     BatchReport,
     ItemResult,
 )
+from .journal import (
+    BatchJournal,
+    JournalError,
+    campaign_fingerprint,
+    item_digest,
+)
+from .retry import RetryPolicy, degradation_rungs
 
 __all__ = [
     "BatchEngine",
     "BatchItem",
+    "BatchJournal",
     "BatchReport",
     "ItemResult",
+    "JournalError",
+    "RetryPolicy",
     "STATUS_OK",
     "STATUS_ERROR",
     "STATUS_TIMEOUT",
     "STATUS_CRASH",
+    "STATUS_QUARANTINED",
+    "campaign_fingerprint",
+    "degradation_rungs",
+    "item_digest",
 ]

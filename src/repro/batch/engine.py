@@ -1,4 +1,4 @@
-"""Parallel batch-analysis engine.
+"""Parallel batch-analysis engine with fault tolerance.
 
 The engine fans ``(system, method)`` work items across a process pool
 with chunking, per-item timeouts and graceful degradation: an analysis
@@ -9,17 +9,40 @@ loses items.  Each worker process keeps a persistent curve cache (see
 items, and every item carries metrics (wall time, horizon doublings,
 cache hits/misses) in its record.
 
+On top of that baseline the engine layers three opt-in robustness
+mechanisms (see ``docs/robustness.md``):
+
+* **Write-ahead journal** (``journal=`` / ``resume=``): each item's
+  final outcome is appended to a crash-safe JSONL journal
+  (:class:`~repro.batch.journal.BatchJournal`) as soon as it is known;
+  a resumed run skips every journaled item without re-analyzing it.
+* **Retry with backoff + quarantine** (``retry=``): transient failures
+  (timeouts, worker crashes, listed transient errors) are retried under
+  a :class:`~repro.batch.retry.RetryPolicy` with deterministic
+  exponential backoff; items that keep killing fresh pools or exhaust
+  their attempts are *quarantined* with a reproduction payload instead
+  of being retried forever.
+* **Degradation ladder**: repeated failures re-run the item with
+  progressively cheaper analysis options (tighter certified compaction,
+  then the pure-python backend); a result obtained that way is marked
+  ``degraded`` with the rung that succeeded.
+
 Determinism: analysis is a pure function of ``(system, method,
 horizon)``, items never share mutable state, and the report lists results
 in submission order -- a batch run is bit-identical to analyzing the same
 items sequentially, with or without the cache (the kernel is a pure
-function of its hashed inputs).
+function of its hashed inputs).  The default configuration (no journal,
+no retry policy) is byte-identical to the pre-robustness engine.
 
 Typical use::
 
-    from repro.batch import BatchEngine, BatchItem
+    from repro.batch import BatchEngine, BatchItem, RetryPolicy
 
-    engine = BatchEngine(n_workers=4, timeout=30.0)
+    engine = BatchEngine(
+        n_workers=4, timeout=30.0,
+        retry=RetryPolicy(max_attempts=3),
+        journal="campaign.wal", resume=True,
+    )
     report = engine.run(
         [BatchItem(system, method) for system in systems for method in methods]
     )
@@ -30,13 +53,16 @@ Typical use::
 
 from __future__ import annotations
 
+import copy
 import math
+import os
 import signal
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..analysis.admission import make_analyzer
 from ..analysis.base import AnalysisResult
@@ -48,6 +74,13 @@ from ..model.system import System
 from ..obs import metrics as _obs_metrics
 from ..obs import trace as _obs_trace
 from ..obs.trace import trace_span
+from .journal import BatchJournal, campaign_fingerprint, item_digest
+from .retry import (
+    RetryPolicy,
+    degradation_rungs,
+    escalate_rung,
+    quarantine_payload,
+)
 
 __all__ = [
     "BatchEngine",
@@ -58,6 +91,7 @@ __all__ = [
     "STATUS_ERROR",
     "STATUS_TIMEOUT",
     "STATUS_CRASH",
+    "STATUS_QUARANTINED",
 ]
 
 #: Item analyzed successfully (the result may still be unschedulable).
@@ -68,6 +102,9 @@ STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
 #: The worker process died; the item's chunk-mates were retried elsewhere.
 STATUS_CRASH = "crash"
+#: Poison item: kept killing fresh pools or exhausted its retry budget
+#: with transient failures.  Carries a reproduction payload.
+STATUS_QUARANTINED = "quarantined"
 
 
 @dataclass(frozen=True)
@@ -94,7 +131,7 @@ class ItemResult:
     index: int  #: submission index within the batch
     item_id: str
     method: str
-    status: str  #: one of STATUS_OK / STATUS_ERROR / STATUS_TIMEOUT / STATUS_CRASH
+    status: str  #: one of the STATUS_* constants
     result: Optional[AnalysisResult] = None  #: present iff status == "ok"
     error: Optional[str] = None  #: human-readable failure description
     wall_time: float = 0.0  #: seconds spent analyzing this item
@@ -110,6 +147,24 @@ class ItemResult:
     #: Worker-side :meth:`MetricsRegistry.snapshot`, merged into the
     #: parent registry by :meth:`BatchEngine.run`; ``None`` as above.
     metrics: Optional[Dict[str, Any]] = None
+    #: Attempt history (one dict per attempt) -- populated only when the
+    #: item was retried or quarantined, so default records are unchanged.
+    attempts: List[Dict[str, Any]] = field(default_factory=list)
+    #: The result was obtained on a degradation rung > 0 (cheaper
+    #: options than requested); ``rung`` records which one.
+    degraded: bool = False
+    rung: int = 0
+    #: ``False`` when a per-item timeout was requested but could not be
+    #: enforced on this platform/thread; ``None`` when not applicable.
+    timeout_enforced: Optional[bool] = None
+    #: Reproduction payload attached to quarantined items.
+    quarantine: Optional[Dict[str, Any]] = None
+    #: Verbatim journal record this result was resumed from (set by
+    #: :meth:`from_journal`); when present, :meth:`to_dict` re-emits it
+    #: unchanged so resumed reports are byte-equal to original ones.
+    journal_payload: Optional[Dict[str, Any]] = None
+    #: The item was skipped on resume (outcome recovered from a journal).
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -118,6 +173,8 @@ class ItemResult:
     @property
     def schedulable(self) -> bool:
         """Admission verdict; a failed item conservatively rejects."""
+        if self.journal_payload is not None:
+            return bool(self.journal_payload.get("schedulable"))
         return bool(self.result is not None and self.result.schedulable)
 
     @property
@@ -125,12 +182,42 @@ class ItemResult:
         n = self.cache_hits + self.cache_misses
         return self.cache_hits / n if n else 0.0
 
+    @classmethod
+    def from_journal(cls, payload: Dict[str, Any], index: int) -> "ItemResult":
+        """Rehydrate a result from its journal record (resume path)."""
+        rec = cls(
+            index=index,
+            item_id=str(payload.get("id", index)),
+            method=str(payload.get("method", "")),
+            status=str(payload.get("status", STATUS_ERROR)),
+            error=payload.get("error"),
+            wall_time=float(payload.get("wall_time") or 0.0),
+            rounds=int(payload.get("rounds") or 0),
+            cache_hits=int(payload.get("cache_hits") or 0),
+            cache_misses=int(payload.get("cache_misses") or 0),
+            audited="violations" in payload,
+            violations=list(payload.get("violations") or []),
+            attempts=list(payload.get("attempts") or []),
+            degraded=bool(payload.get("degraded")),
+            rung=int(payload.get("rung") or 0),
+            quarantine=payload.get("quarantine"),
+        )
+        rec.journal_payload = copy.deepcopy(payload)
+        rec.resumed = True
+        return rec
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready record (the ``batch`` CLI emits one per line).
 
-        The ``violations`` key appears only on audited items, keeping the
-        baseline record schema unchanged for ordinary batch runs.
+        The ``violations`` key appears only on audited items, and the
+        robustness keys (``attempts``, ``degraded``/``rung``,
+        ``timeout_enforced``, ``quarantine``) only when the corresponding
+        mechanism actually fired -- the baseline record schema is
+        unchanged for ordinary batch runs.  A resumed record re-emits its
+        journal payload verbatim.
         """
+        if self.journal_payload is not None:
+            return copy.deepcopy(self.journal_payload)
         payload = {
             "id": self.item_id,
             "method": self.method,
@@ -149,6 +236,15 @@ class ItemResult:
             payload["trace"] = list(self.trace)
         if self.metrics is not None:
             payload["metrics"] = dict(self.metrics)
+        if self.attempts:
+            payload["attempts"] = list(self.attempts)
+        if self.degraded:
+            payload["degraded"] = True
+            payload["rung"] = self.rung
+        if self.timeout_enforced is False:
+            payload["timeout_enforced"] = False
+        if self.quarantine is not None:
+            payload["quarantine"] = dict(self.quarantine)
         return payload
 
 
@@ -176,6 +272,24 @@ class BatchReport:
     @property
     def n_failed(self) -> int:
         return len(self.results) - self.n_ok
+
+    @property
+    def n_resumed(self) -> int:
+        """Items recovered from the journal instead of being re-analyzed."""
+        return sum(1 for r in self.results if r.resumed)
+
+    @property
+    def n_retried(self) -> int:
+        """Items that needed more than one attempt."""
+        return sum(1 for r in self.results if len(r.attempts) > 1)
+
+    @property
+    def n_quarantined(self) -> int:
+        return sum(1 for r in self.results if r.status == STATUS_QUARANTINED)
+
+    @property
+    def n_degraded(self) -> int:
+        return sum(1 for r in self.results if r.degraded)
 
     def failures(self) -> List[ItemResult]:
         return [r for r in self.results if not r.ok]
@@ -210,13 +324,23 @@ class BatchReport:
 
     def summary(self) -> str:
         status = " ".join(f"{k}={v}" for k, v in sorted(self.by_status().items()))
-        return (
+        text = (
             f"batch: {len(self.results)} items in {self.wall_time:.2f}s "
             f"({self.items_per_second:.1f} items/s, "
             f"workers={self.n_workers or 'serial'}) [{status}] "
             f"cache hit rate {100.0 * self.cache_hit_rate:.1f}% "
             f"({self.cache_hits} hits / {self.cache_misses} misses)"
         )
+        extras = []
+        if self.n_resumed:
+            extras.append(f"resumed={self.n_resumed}")
+        if self.n_retried:
+            extras.append(f"retried={self.n_retried}")
+        if self.n_degraded:
+            extras.append(f"degraded={self.n_degraded}")
+        if extras:
+            text += " " + " ".join(extras)
+        return text
 
 
 # ----------------------------------------------------------------------
@@ -235,33 +359,57 @@ class _ItemTimeout(Exception):
     """Internal: raised inside a work item when its time budget expires."""
 
 
+#: One warning per process when a requested timeout cannot be enforced.
+_TIMEOUT_WARNED = False
+
+
 @contextmanager
 def _item_timeout(seconds: Optional[float]):
     """Arm a wall-clock alarm for one item (POSIX main thread only).
 
     Analysis code is pure Python/numpy, so SIGALRM is delivered between
-    bytecodes and surfaces here as :class:`_ItemTimeout`.  On platforms
-    without ``setitimer`` (or off the main thread) the timeout is a no-op
-    rather than an error -- degraded, not broken.
+    bytecodes and surfaces here as :class:`_ItemTimeout`.  Yields an info
+    dict whose ``"enforced"`` key is ``None`` when no timeout was
+    requested, ``True`` when the alarm is armed, and ``False`` when a
+    timeout *was* requested but cannot be enforced here (no
+    ``setitimer``, or off the main thread) -- in which case a one-time
+    warning is emitted and the caller records the diagnostic instead of
+    silently running unbounded.
     """
+    global _TIMEOUT_WARNED
+    if not seconds or seconds <= 0:
+        yield {"enforced": None}
+        return
     if (
-        not seconds
-        or seconds <= 0
-        or not hasattr(signal, "setitimer")
+        not hasattr(signal, "setitimer")
         or threading.current_thread() is not threading.main_thread()
     ):
-        yield
+        if not _TIMEOUT_WARNED:
+            _TIMEOUT_WARNED = True
+            warnings.warn(
+                "per-item timeouts cannot be enforced here (setitimer "
+                "unavailable or not on the main thread); items will run "
+                "unbounded and carry timeout_enforced=false",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        yield {"enforced": False}
         return
 
     def _on_alarm(signum, frame):
         raise _ItemTimeout()
 
+    # Restore the previous handler even when arming the timer fails or
+    # the analysis raises before the alarm fires: the inner finally
+    # always disarms the timer first, the outer always reinstalls.
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
-        yield
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield {"enforced": True}
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
 
 
@@ -270,8 +418,13 @@ def _analyze_one(
     timeout: Optional[float],
     cache: Optional[memo.CurveCache],
     capture: Optional[Dict[str, bool]] = None,
+    injector: Optional[Any] = None,
+    attempt: int = 1,
+    options_override: Optional[AnalysisOptions] = None,
 ) -> ItemResult:
     index, item_id, system, method, horizon, options, audit = record
+    if options_override is not None:
+        options = options_override
     # Worker processes have no ambient observability state; when the
     # parent ran with tracing/metrics on, ``capture`` asks for a fresh
     # per-item collector/registry whose snapshots travel back across the
@@ -291,10 +444,14 @@ def _analyze_one(
         result: Optional[AnalysisResult] = None
         error: Optional[str] = None
         audited = False
+        timeout_enforced: Optional[bool] = None
         violations: List[Dict[str, Any]] = []
         with trace_span("batch.item", item=item_id, method=method) as span:
             try:
-                with _item_timeout(timeout):
+                with _item_timeout(timeout) as t_info:
+                    timeout_enforced = t_info["enforced"]
+                    if injector is not None:
+                        injector.before_item(item_id, attempt, _ItemTimeout)
                     result = make_analyzer(
                         method, horizon, options=options
                     ).analyze(system)
@@ -312,7 +469,11 @@ def _analyze_one(
                 status = STATUS_OK
             except _ItemTimeout:
                 status = STATUS_TIMEOUT
-                error = f"analysis exceeded the {timeout:g}s item timeout"
+                error = (
+                    f"analysis exceeded the {timeout:g}s item timeout"
+                    if timeout
+                    else "analysis timed out"
+                )
             except Exception as exc:  # AnalysisError, ValueError, ...
                 status = STATUS_ERROR
                 error = f"{type(exc).__name__}: {exc}"
@@ -341,6 +502,7 @@ def _analyze_one(
             cache_misses=delta.misses if delta is not None else 0,
             audited=audited,
             violations=violations,
+            timeout_enforced=timeout_enforced,
         )
     finally:
         if collector is not None:
@@ -363,15 +525,58 @@ def _worker_chunk(payload) -> Dict[str, Any]:
     carries the chunk's pool queue wait (submit-to-start, wall clock)
     alongside the per-item results.
     """
-    records, timeout, use_cache, cache_size, capture, submitted_at = payload
+    (
+        records,
+        timeout,
+        use_cache,
+        cache_size,
+        capture,
+        submitted_at,
+        injector,
+        attempt,
+        options_override,
+    ) = payload
     queue_wait = (
         max(0.0, time.time() - submitted_at) if submitted_at is not None else None
     )
     cache = memo.enable_curve_cache(cache_size) if use_cache else None
     return {
         "queue_wait": queue_wait,
-        "results": [_analyze_one(rec, timeout, cache, capture) for rec in records],
+        "results": [
+            _analyze_one(
+                rec,
+                timeout,
+                cache,
+                capture,
+                injector=injector,
+                attempt=attempt,
+                options_override=options_override,
+            )
+            for rec in records
+        ],
     }
+
+
+@dataclass
+class _Pending:
+    """Supervision state for one record in the retry phase."""
+
+    record: _Record
+    attempt: int = 0  #: individual attempts completed so far
+    rung: int = 0  #: current degradation-ladder rung
+    pool_kills: int = 0  #: dedicated pools this record has killed
+    log: List[Dict[str, Any]] = field(default_factory=list)
+
+    def note(self, status: str, error: Optional[str], wall: float) -> None:
+        self.log.append(
+            {
+                "attempt": self.attempt,
+                "status": status,
+                "error": error,
+                "wall_time": round(wall, 6),
+                "rung": self.rung,
+            }
+        )
 
 
 class BatchEngine:
@@ -403,6 +608,26 @@ class BatchEngine:
         Engine-wide default :class:`~repro.analysis.AnalysisOptions`
         (compaction budget, warm start); an item's own ``options`` field
         takes precedence when set.
+    retry:
+        Optional :class:`~repro.batch.retry.RetryPolicy`.  ``None``
+        keeps the legacy single-shot semantics (one isolation retry for
+        suspects of a pool crash, nothing else) byte-identically.
+    journal:
+        Write-ahead journal for this campaign -- a path or a
+        :class:`~repro.batch.journal.BatchJournal`.  ``None`` disables
+        journaling.
+    resume:
+        With ``journal``: when the journal file already exists, validate
+        its fingerprint against this campaign and skip every journaled
+        item.  Without an existing file, a fresh journal is started.
+    max_pool_restarts:
+        Bound on fresh dedicated pools built during the supervised retry
+        phase; beyond it, remaining suspect items are recorded as
+        crashes rather than restarting pools forever.
+    fault_injector:
+        Chaos hook (see :mod:`repro.chaos`): a picklable object whose
+        ``before_item(item_id, attempt, timeout_exc)`` runs in the worker
+        ahead of each analysis.  Production runs leave this ``None``.
     """
 
     def __init__(
@@ -414,9 +639,18 @@ class BatchEngine:
         cache_size: int = memo.DEFAULT_CACHE_SIZE,
         audit: bool = False,
         options: Optional[AnalysisOptions] = None,
+        retry: Optional[RetryPolicy] = None,
+        journal: Optional[Any] = None,
+        resume: bool = False,
+        max_pool_restarts: int = 8,
+        fault_injector: Optional[Any] = None,
     ) -> None:
         if chunksize is not None and chunksize <= 0:
             raise ValueError("chunksize must be positive")
+        if max_pool_restarts < 0:
+            raise ValueError("max_pool_restarts must be >= 0")
+        if resume and journal is None:
+            raise ValueError("resume=True requires a journal")
         self.n_workers = int(n_workers) if n_workers else 0
         self.chunksize = chunksize
         self.timeout = timeout
@@ -424,6 +658,11 @@ class BatchEngine:
         self.cache_size = cache_size
         self.audit = audit
         self.options = options
+        self.retry = retry
+        self.journal = journal
+        self.resume = resume
+        self.max_pool_restarts = max_pool_restarts
+        self.fault_injector = fault_injector
         # Serial-mode cache persists across run() calls, mirroring the
         # per-worker persistent caches of the pool path.
         self._serial_cache: Optional[memo.CurveCache] = (
@@ -448,18 +687,31 @@ class BatchEngine:
             for i, item in enumerate(items)
         ]
         t0 = time.perf_counter()
-        with trace_span(
-            "batch.run", n_items=len(records), n_workers=self.n_workers
-        ) as span:
-            if self.n_workers > 1 and len(records) > 1:
-                results = self._run_pool(records)
-                n_workers = self.n_workers
-            else:
-                results = self._run_serial(records)
-                n_workers = 0
-            results.sort(key=lambda r: r.index)
-            self._merge_observability(results)
-            span.set_attrs(n_ok=sum(1 for r in results if r.ok))
+        journal, digests, resumed = self._prepare_journal(records)
+        pending = (
+            records
+            if not resumed
+            else [r for r in records if r[0] not in resumed]
+        )
+        try:
+            with trace_span(
+                "batch.run", n_items=len(records), n_workers=self.n_workers
+            ) as span:
+                on_final = self._journal_sink(journal, digests)
+                if self.n_workers > 1 and len(pending) > 1:
+                    results = self._run_pool(pending, on_final)
+                    n_workers = self.n_workers
+                else:
+                    results = self._run_serial(pending, on_final)
+                    n_workers = 0
+                if resumed:
+                    results.extend(resumed.values())
+                results.sort(key=lambda r: r.index)
+                self._merge_observability(results)
+                span.set_attrs(n_ok=sum(1 for r in results if r.ok))
+        finally:
+            if journal is not None:
+                journal.close()
         return BatchReport(
             results=results,
             wall_time=time.perf_counter() - t0,
@@ -480,6 +732,91 @@ class BatchEngine:
                 for s in systems
             ]
         )
+
+    # ------------------------------------------------------------------
+    # journal plumbing
+    # ------------------------------------------------------------------
+
+    def _prepare_journal(
+        self, records: List[_Record]
+    ) -> Tuple[
+        Optional[BatchJournal],
+        Optional[Dict[int, str]],
+        Optional[Dict[int, ItemResult]],
+    ]:
+        """Open/create the journal; returns (journal, digests, resumed).
+
+        ``digests`` maps record index -> content digest, ``resumed`` maps
+        record index -> rehydrated result for items recovered from an
+        existing journal.  All three are ``None`` when journaling is off.
+        """
+        if self.journal is None:
+            return None, None, None
+        journal = (
+            self.journal
+            if isinstance(self.journal, BatchJournal)
+            else BatchJournal(self.journal)
+        )
+        digests = {
+            index: item_digest(system, method, horizon, options)
+            for index, _id, system, method, horizon, options, _audit in records
+        }
+        fingerprint = campaign_fingerprint(
+            list(digests.values()),
+            audit=self.audit,
+            backend=self._resolved_backend(),
+        )
+        if self.resume and os.path.exists(journal.path):
+            with trace_span("batch.resume", journal=journal.path) as span:
+                entries = journal.open_resume(fingerprint)
+                by_digest: Dict[str, List[Dict[str, Any]]] = {}
+                for entry in entries:
+                    by_digest.setdefault(entry["digest"], []).append(entry)
+                resumed: Dict[int, ItemResult] = {}
+                for index, _id, *_rest in records:
+                    bucket = by_digest.get(digests[index])
+                    if bucket:
+                        entry = bucket.pop(0)
+                        resumed[index] = ItemResult.from_journal(
+                            entry["record"], index
+                        )
+                span.set_attrs(
+                    n_entries=len(entries),
+                    n_skipped=len(resumed),
+                    torn_tail=journal.torn_tail_dropped,
+                )
+            registry = _obs_metrics.active_metrics()
+            if registry is not None:
+                registry.inc(
+                    "repro_batch_resume_skipped_total", value=len(resumed)
+                )
+                if journal.torn_tail_dropped:
+                    registry.inc("repro_batch_journal_torn_tails_total")
+            return journal, digests, resumed
+        journal.create(fingerprint)
+        return journal, digests, None
+
+    def _journal_sink(
+        self,
+        journal: Optional[BatchJournal],
+        digests: Optional[Dict[int, str]],
+    ) -> Optional[Callable[[ItemResult], None]]:
+        if journal is None or digests is None:
+            return None
+
+        registry = _obs_metrics.active_metrics()
+
+        def sink(item: ItemResult) -> None:
+            journal.append(digests[item.index], item.index, item.to_dict())
+            if registry is not None:
+                registry.inc("repro_batch_journal_records_total")
+
+        return sink
+
+    def _resolved_backend(self) -> str:
+        if self.options is not None and self.options.backend is not None:
+            return self.options.backend
+        return _backend.active_backend_name()
 
     # ------------------------------------------------------------------
 
@@ -506,11 +843,73 @@ class BatchEngine:
                     method=item.method,
                 )
 
-    def _run_serial(self, records: List[_Record]) -> List[ItemResult]:
+    # ------------------------------------------------------------------
+    # serial path
+    # ------------------------------------------------------------------
+
+    def _run_serial(
+        self,
+        records: List[_Record],
+        on_final: Optional[Callable[[ItemResult], None]] = None,
+    ) -> List[ItemResult]:
         if self._serial_cache is not None:
             with memo.curve_cache(cache=self._serial_cache) as cache:
-                return [_analyze_one(r, self.timeout, cache) for r in records]
-        return [_analyze_one(r, self.timeout, None) for r in records]
+                return [
+                    self._serial_item(r, cache, on_final) for r in records
+                ]
+        return [self._serial_item(r, None, on_final) for r in records]
+
+    def _serial_item(
+        self,
+        record: _Record,
+        cache: Optional[memo.CurveCache],
+        on_final: Optional[Callable[[ItemResult], None]],
+    ) -> ItemResult:
+        policy = self.retry
+        injector = self.fault_injector
+        item = _analyze_one(
+            record, self.timeout, cache, injector=injector, attempt=1
+        )
+        if policy is not None and policy.should_retry(1, item.status, item.error):
+            pending = _Pending(record=record, attempt=1)
+            pending.note(item.status, item.error, item.wall_time)
+            rungs = (
+                degradation_rungs(record[5]) if policy.degrade else [record[5]]
+            )
+            while policy.should_retry(pending.attempt, item.status, item.error):
+                pending.rung = escalate_rung(
+                    pending.rung,
+                    len(rungs),
+                    pending.attempt,
+                    item.status,
+                    item.error,
+                )
+                self._backoff(policy, pending)
+                with trace_span(
+                    "batch.retry",
+                    item=record[1],
+                    attempt=pending.attempt + 1,
+                    rung=pending.rung,
+                ):
+                    item = _analyze_one(
+                        record,
+                        self.timeout,
+                        cache,
+                        injector=injector,
+                        attempt=pending.attempt + 1,
+                        options_override=rungs[pending.rung],
+                    )
+                pending.attempt += 1
+                pending.note(item.status, item.error, item.wall_time)
+                self._count_retry(item.status)
+            item = self._finalize_pending(pending, item)
+        if on_final is not None:
+            on_final(item)
+        return item
+
+    # ------------------------------------------------------------------
+    # pool path
+    # ------------------------------------------------------------------
 
     def _chunk(self, records: List[_Record]) -> List[List[_Record]]:
         size = self.chunksize
@@ -518,10 +917,33 @@ class BatchEngine:
             size = max(1, min(32, -(-len(records) // (4 * self.n_workers))))
         return [records[i : i + size] for i in range(0, len(records), size)]
 
-    def _run_pool(self, records: List[_Record]) -> List[ItemResult]:
-        from concurrent.futures import ProcessPoolExecutor, as_completed
-        from concurrent.futures.process import BrokenProcessPool
+    def _payload(
+        self,
+        chunk: List[_Record],
+        capture: Optional[Dict[str, bool]],
+        attempt: int = 1,
+        options_override: Optional[AnalysisOptions] = None,
+    ):
+        return (
+            chunk,
+            self.timeout,
+            self.use_cache,
+            self.cache_size,
+            capture,
+            time.time(),
+            self.fault_injector,
+            attempt,
+            options_override,
+        )
 
+    def _run_pool(
+        self,
+        records: List[_Record],
+        on_final: Optional[Callable[[ItemResult], None]] = None,
+    ) -> List[ItemResult]:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        policy = self.retry
         capture: Optional[Dict[str, bool]] = {
             "trace": _obs_trace.tracing_enabled(),
             "detail": _obs_trace.detail_enabled(),
@@ -530,28 +952,34 @@ class BatchEngine:
         if not (capture["trace"] or capture["metrics"]):
             capture = None
 
-        def payload(chunk: List[_Record]):
-            return (
-                chunk,
-                self.timeout,
-                self.use_cache,
-                self.cache_size,
-                capture,
-                time.time(),
-            )
-
         results: List[ItemResult] = []
         queue_waits: List[float] = []
-        suspects: List[_Record] = []
+        pending: List[_Pending] = []
+
+        def finish(item: ItemResult) -> None:
+            results.append(item)
+            if on_final is not None:
+                on_final(item)
 
         def take(chunk_payload: Dict[str, Any]) -> None:
             if chunk_payload.get("queue_wait") is not None:
                 queue_waits.append(chunk_payload["queue_wait"])
-            results.extend(chunk_payload["results"])
+            for item in chunk_payload["results"]:
+                if policy is not None and policy.should_retry(
+                    1, item.status, item.error
+                ):
+                    p = _Pending(
+                        record=self._record_by_index[item.index], attempt=1
+                    )
+                    p.note(item.status, item.error, item.wall_time)
+                    pending.append(p)
+                else:
+                    finish(item)
 
+        self._record_by_index = {r[0]: r for r in records}
         with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
             futures = {
-                pool.submit(_worker_chunk, payload(chunk)): chunk
+                pool.submit(_worker_chunk, self._payload(chunk, capture)): chunk
                 for chunk in self._chunk(records)
             }
             for fut in as_completed(futures):
@@ -561,34 +989,15 @@ class BatchEngine:
                     # A worker died (or the chunk result failed to travel
                     # back).  Innocent chunk-mates are retried one at a
                     # time below so the culprit can be pinned down.
-                    suspects.extend(futures[fut])
+                    pending.extend(
+                        _Pending(record=rec) for rec in futures[fut]
+                    )
 
-        # Second pass: isolate crashes item by item in fresh pools.  A
-        # record that breaks its pool twice is reported as a crash; its
-        # former chunk-mates come back with real results.
-        while suspects:
-            with ProcessPoolExecutor(max_workers=1) as pool:
-                while suspects:
-                    record = suspects[0]
-                    t_retry = time.perf_counter()
-                    try:
-                        chunk_result = pool.submit(
-                            _worker_chunk, payload([record])
-                        ).result()
-                    except Exception as exc:  # noqa: BLE001 - crash isolation
-                        # The item still gets a measured wall time -- the
-                        # span of the retry that killed its pool -- so
-                        # crash records carry partial metrics instead of
-                        # zeros.
-                        results.append(
-                            _crash_result(
-                                record, exc, wall=time.perf_counter() - t_retry
-                            )
-                        )
-                        suspects.pop(0)
-                        break  # this pool is broken; open a fresh one
-                    take(chunk_result)
-                    suspects.pop(0)
+        # Second pass: supervised isolation/retry in dedicated pools.  A
+        # record that keeps breaking its pool is quarantined (with a
+        # retry policy) or reported as a crash (without); everything else
+        # comes back with a real result.
+        self._supervise(pending, capture, finish)
 
         registry = _obs_metrics.active_metrics()
         if registry is not None and queue_waits:
@@ -596,6 +1005,231 @@ class BatchEngine:
                 "repro_batch_queue_wait_seconds", max(queue_waits)
             )
         return results
+
+    def _supervise(
+        self,
+        pending: List[_Pending],
+        capture: Optional[Dict[str, bool]],
+        finish: Callable[[ItemResult], None],
+    ) -> None:
+        """Drain the retry/isolation queue through dedicated pools.
+
+        Each queue entry runs alone in a single-worker pool, so a death
+        is unambiguously attributable.  Pools are rebuilt after each kill
+        up to ``max_pool_restarts``; past the bound, remaining entries
+        are finalized as crashes instead of thrashing.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FuturesTimeout
+
+        if not pending:
+            return
+        policy = self.retry
+        registry = _obs_metrics.active_metrics()
+        restarts = 0
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            while pending:
+                if pool is None:
+                    if restarts > self.max_pool_restarts:
+                        for p in pending:
+                            finish(
+                                self._give_up(
+                                    p,
+                                    "retry pool restart budget "
+                                    f"({self.max_pool_restarts}) exhausted",
+                                )
+                            )
+                        pending.clear()
+                        break
+                    pool = ProcessPoolExecutor(max_workers=1)
+                p = pending[0]
+                rungs = (
+                    degradation_rungs(p.record[5])
+                    if policy is not None and policy.degrade
+                    else [p.record[5]]
+                )
+                if p.attempt >= 1 and policy is not None:
+                    self._backoff(policy, p)
+                attempt = p.attempt + 1
+                t_run = time.perf_counter()
+                with trace_span(
+                    "batch.retry",
+                    item=p.record[1],
+                    attempt=attempt,
+                    rung=p.rung,
+                ):
+                    try:
+                        fut = pool.submit(
+                            _worker_chunk,
+                            self._payload(
+                                [p.record],
+                                capture,
+                                attempt=attempt,
+                                options_override=rungs[p.rung]
+                                if p.rung > 0
+                                else None,
+                            ),
+                        )
+                        hang = policy.hang_timeout if policy else None
+                        try:
+                            chunk_result = fut.result(timeout=hang)
+                        except FuturesTimeout:
+                            # Hung worker: no result within the watchdog
+                            # budget.  Kill it and treat as a pool death.
+                            for proc in list(pool._processes.values()):
+                                proc.kill()
+                            pool.shutdown(wait=True, cancel_futures=True)
+                            pool = None
+                            raise _PoolDied(
+                                f"no result within the {hang:g}s hang "
+                                f"watchdog; worker killed"
+                            ) from None
+                    except _PoolDied as exc:
+                        died = exc
+                    except Exception as exc:  # noqa: BLE001 - crash isolation
+                        died = exc
+                        try:
+                            pool.shutdown(wait=True, cancel_futures=True)
+                        except Exception:  # pragma: no cover
+                            pass
+                        pool = None
+                    else:
+                        died = None
+                wall = time.perf_counter() - t_run
+                if died is not None:
+                    restarts += 1
+                    p.pool_kills += 1
+                    p.attempt = attempt
+                    p.note(
+                        STATUS_CRASH,
+                        f"worker process died while analyzing this item "
+                        f"({type(died).__name__}: {died})",
+                        wall,
+                    )
+                    if registry is not None:
+                        registry.inc("repro_batch_pool_restarts_total")
+                    if policy is None:
+                        # Legacy semantics: one isolation try, then a
+                        # structured crash record.
+                        finish(_crash_result(p.record, died, wall=wall))
+                        pending.pop(0)
+                    elif p.pool_kills >= policy.max_pool_kills:
+                        finish(
+                            self._quarantine(
+                                p,
+                                f"killed {p.pool_kills} dedicated pools",
+                            )
+                        )
+                        pending.pop(0)
+                    elif attempt >= policy.max_attempts:
+                        finish(
+                            self._quarantine(
+                                p,
+                                f"still crashing after {attempt} attempts",
+                            )
+                        )
+                        pending.pop(0)
+                    else:
+                        self._count_retry(STATUS_CRASH)
+                        p.rung = escalate_rung(
+                            p.rung,
+                            len(rungs),
+                            attempt,
+                            STATUS_CRASH,
+                            p.log[-1]["error"],
+                        )
+                    continue  # rebuild the pool for whoever is next
+
+                item = chunk_result["results"][0]
+                p.attempt = attempt
+                p.note(item.status, item.error, item.wall_time)
+                if policy is not None and policy.should_retry(
+                    attempt, item.status, item.error
+                ):
+                    self._count_retry(item.status)
+                    p.rung = escalate_rung(
+                        p.rung, len(rungs), attempt, item.status, item.error
+                    )
+                    continue  # same pool, next attempt
+                finish(self._finalize_pending(p, item))
+                pending.pop(0)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # retry bookkeeping shared by serial and pool paths
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _backoff(policy: RetryPolicy, p: _Pending) -> None:
+        delay = policy.delay(p.attempt, key=p.record[1])
+        if delay > 0:
+            time.sleep(delay)
+
+    @staticmethod
+    def _count_retry(status: str) -> None:
+        registry = _obs_metrics.active_metrics()
+        if registry is not None:
+            registry.inc("repro_batch_retries_total", status=status)
+
+    def _finalize_pending(self, p: _Pending, item: ItemResult) -> ItemResult:
+        """Attach retry history to a final result; quarantine exhaustion."""
+        policy = self.retry
+        if (
+            policy is not None
+            and not item.ok
+            and policy.is_transient(item.status, item.error)
+        ):
+            # Attempts exhausted on a transient failure: poison item.
+            return self._quarantine(
+                p,
+                f"transient '{item.status}' persisted through "
+                f"{p.attempt} attempts",
+            )
+        if len(p.log) > 1:
+            item.attempts = list(p.log)
+        if item.ok and p.rung > 0:
+            item.degraded = True
+            item.rung = p.rung
+        return item
+
+    def _quarantine(self, p: _Pending, reason: str) -> ItemResult:
+        index, item_id, system, method, horizon, options, _audit = p.record
+        registry = _obs_metrics.active_metrics()
+        if registry is not None:
+            registry.inc("repro_batch_quarantined_total")
+        last_error = p.log[-1]["error"] if p.log else None
+        return ItemResult(
+            index=index,
+            item_id=item_id,
+            method=method,
+            status=STATUS_QUARANTINED,
+            error=f"quarantined: {reason}"
+            + (f" (last: {last_error})" if last_error else ""),
+            wall_time=sum(e.get("wall_time", 0.0) for e in p.log),
+            attempts=list(p.log),
+            quarantine=quarantine_payload(
+                system, method, horizon, options, p.log, reason
+            ),
+        )
+
+    def _give_up(self, p: _Pending, reason: str) -> ItemResult:
+        index, item_id, _system, method, *_ = p.record
+        return ItemResult(
+            index=index,
+            item_id=item_id,
+            method=method,
+            status=STATUS_CRASH,
+            wall_time=sum(e.get("wall_time", 0.0) for e in p.log),
+            attempts=list(p.log) if len(p.log) > 1 else [],
+            error=f"worker supervision gave up: {reason}",
+        )
+
+
+class _PoolDied(RuntimeError):
+    """Internal: a dedicated retry pool died or was killed by the watchdog."""
 
 
 def _crash_result(record: _Record, exc: Exception, wall: float = 0.0) -> ItemResult:

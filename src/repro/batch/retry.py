@@ -1,0 +1,270 @@
+"""Retry, backoff, quarantine and graceful degradation for batch items.
+
+The batch engine treats three failure statuses as *transient*: a
+``timeout`` (the item may have been starved by a noisy neighbour), a
+``crash`` (the worker may have died from memory pressure unrelated to
+the item) and an ``error`` whose exception type is listed in
+:attr:`RetryPolicy.transient_errors`.  A :class:`RetryPolicy` bounds how
+often such items are retried, spaces the retries with deterministic
+exponential backoff + jitter, and decides when an item is *poison* --
+one that keeps killing fresh pools or keeps timing out -- and must be
+quarantined with a reproduction payload instead of being retried
+forever.
+
+Degradation ladder
+------------------
+
+Retrying a timed-out item with the same options usually times out again.
+:func:`degradation_rungs` builds a ladder of progressively cheaper
+:class:`~repro.analysis.options.AnalysisOptions` for an item:
+
+* **rung 0** -- the item's own options, untouched;
+* **rung 1** -- certified curve compaction tightened (budget halved, or
+  enabled at :data:`DEGRADED_BUDGET` when it was off) -- bounds stay
+  sound, they only get looser;
+* **rung 2** -- additionally the pure-Python curve backend, for crashes
+  where native numpy code is implicated.
+
+:func:`escalate_rung` maps an attempt's failure onto the next rung: the
+first retry repeats the current rung (the fault may have been
+environmental), repeated failures step down one rung at a time, and a
+crash that implicates numpy jumps straight to the python-backend rung.
+A result that succeeds on rung > 0 is marked ``degraded`` with the rung
+recorded, so looser-than-usual bounds are always attributable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..analysis.horizon import HorizonConfig
+from ..analysis.options import AnalysisOptions
+from ..curves import backend as _backend
+from ..curves.compact import MIN_BUDGET
+from ..model.io import system_to_dict
+from ..model.system import System
+
+__all__ = [
+    "DEGRADED_BUDGET",
+    "QUARANTINE_SCHEMA_VERSION",
+    "RetryPolicy",
+    "degradation_rungs",
+    "escalate_rung",
+    "quarantine_payload",
+]
+
+#: Compaction budget applied on the first degradation rung when the
+#: item's own options do not compact at all.
+DEGRADED_BUDGET = 64
+
+QUARANTINE_SCHEMA_VERSION = 1
+
+#: Statuses a :class:`RetryPolicy` retries by default.
+_TRANSIENT_STATUSES: Tuple[str, ...] = ("timeout", "crash")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with deterministic exponential backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per item, first try included.  An item never runs
+        more than ``max_attempts`` times, whatever mix of timeouts,
+        crashes and transient errors it produces.
+    base_delay:
+        Backoff before the first retry (seconds).  Retry *k* (1-based)
+        waits ``base_delay * 2**(k-1)``, capped at ``max_delay``, then
+        scaled by the jitter factor.  ``0`` disables sleeping entirely
+        (tests, chaos runs).
+    jitter:
+        Relative jitter amplitude in ``[0, 1)``: the delay is scaled by a
+        factor drawn deterministically from ``[1 - jitter, 1 + jitter]``
+        keyed on ``(seed, item, attempt)``, so a thundering herd of
+        retried items spreads out while runs stay reproducible.
+    max_delay:
+        Upper bound on a single backoff sleep (seconds).
+    seed:
+        Jitter seed; same seed, same schedule.
+    retry_statuses:
+        Failure statuses eligible for retry.
+    transient_errors:
+        Exception type names whose ``error`` records are treated as
+        transient (retried like a crash) even though the worker survived.
+        Matched against the leading ``TypeName:`` of the error string.
+    max_pool_kills:
+        Quarantine an item after it has killed this many *dedicated*
+        pools (pools retrying only that item) -- the unambiguous poison
+        signature.
+    hang_timeout:
+        Watchdog for the supervised retry phase: a dedicated-pool retry
+        that produces no result within this many seconds is declared
+        hung, its worker is killed, and the event counts as a pool kill.
+        ``None`` disables the watchdog.
+    degrade:
+        Walk the degradation ladder on repeated failures (see
+        :func:`degradation_rungs`).  When off, every retry reuses the
+        item's own options.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.25
+    jitter: float = 0.1
+    max_delay: float = 30.0
+    seed: int = 0
+    retry_statuses: Tuple[str, ...] = _TRANSIENT_STATUSES
+    transient_errors: Tuple[str, ...] = ("ChaosTransientError", "OSError")
+    max_pool_kills: int = 2
+    hang_timeout: Optional[float] = None
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be >= 0")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError("jitter must be in [0, 1)")
+        if self.max_pool_kills < 1:
+            raise ValueError("max_pool_kills must be >= 1")
+        if self.hang_timeout is not None and self.hang_timeout <= 0:
+            raise ValueError("hang_timeout must be positive")
+
+    # ------------------------------------------------------------------
+
+    def is_transient(self, status: str, error: Optional[str] = None) -> bool:
+        """Is this outcome worth retrying at all?"""
+        if status in self.retry_statuses:
+            return True
+        if status == "error" and error:
+            head = error.split(":", 1)[0].strip()
+            return head in self.transient_errors
+        return False
+
+    def should_retry(
+        self, attempt: int, status: str, error: Optional[str] = None
+    ) -> bool:
+        """May attempt ``attempt`` (1-based) be followed by another?"""
+        return attempt < self.max_attempts and self.is_transient(status, error)
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before the retry that follows attempt ``attempt``."""
+        if self.base_delay <= 0:
+            return 0.0
+        raw = min(self.max_delay, self.base_delay * (2.0 ** (attempt - 1)))
+        if self.jitter <= 0:
+            return raw
+        h = hashlib.blake2b(
+            f"{self.seed}:{key}:{attempt}".encode("utf-8"), digest_size=8
+        ).digest()
+        unit = int.from_bytes(h, "big") / float(1 << 64)  # [0, 1)
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+
+
+# ----------------------------------------------------------------------
+# degradation ladder
+# ----------------------------------------------------------------------
+
+
+def degradation_rungs(
+    base: Optional[AnalysisOptions],
+) -> List[Optional[AnalysisOptions]]:
+    """The ladder of fallback options for one item, cheapest last.
+
+    Rung 0 is always ``base`` itself (possibly ``None`` -- the exact
+    default pipeline).  Later rungs are only added when they genuinely
+    change something: a ladder over options that already compact at the
+    floor budget on the python backend is just ``[base]``.
+    """
+    rungs: List[Optional[AnalysisOptions]] = [base]
+    opts = base if base is not None else AnalysisOptions()
+
+    # Rung 1: certified compaction, tighter than whatever is running.
+    if opts.compact_mode == "error" or opts.compact_budget is None:
+        budget = DEGRADED_BUDGET
+    else:
+        budget = max(MIN_BUDGET, opts.compact_budget // 2)
+    if opts.compact_mode == "error" or budget != opts.compact_budget:
+        opts = dataclasses.replace(
+            opts,
+            compact_mode="budget",
+            compact_budget=budget,
+            compact_max_error=None,
+        )
+        rungs.append(opts)
+
+    # Rung 2: pure-python curve kernels (native-code crash escape hatch).
+    resolved = opts.backend or _backend.active_backend_name()
+    if resolved != "python" and "python" in _backend.available_backends():
+        opts = dataclasses.replace(opts, backend="python")
+        rungs.append(opts)
+    return rungs
+
+
+def escalate_rung(
+    rung: int,
+    n_rungs: int,
+    attempt: int,
+    status: str,
+    error: Optional[str] = None,
+) -> int:
+    """Rung for the retry that follows a failed ``attempt`` (1-based).
+
+    The first retry repeats the current rung -- a lone timeout or crash
+    is as likely environmental as inherent.  From the second failure on,
+    each further failure steps one rung down.  A crash whose error
+    message implicates numpy jumps straight to the final (python-backend)
+    rung.
+    """
+    if n_rungs <= 1:
+        return rung
+    if status == "crash" and error and "numpy" in error.lower():
+        return n_rungs - 1
+    if attempt >= 2:
+        return min(rung + 1, n_rungs - 1)
+    return rung
+
+
+# ----------------------------------------------------------------------
+# quarantine
+# ----------------------------------------------------------------------
+
+
+def quarantine_payload(
+    system: System,
+    method: str,
+    horizon: Optional[HorizonConfig],
+    options: Optional[AnalysisOptions],
+    attempts: List[Dict[str, Any]],
+    reason: str,
+) -> Dict[str, Any]:
+    """Self-contained reproduction payload for a quarantined item.
+
+    Everything needed to replay the poison item offline: the system in
+    its canonical (minimal) dict form -- loadable straight back through
+    :func:`repro.model.io.system_from_dict` -- the exact method/horizon/
+    options it ran under, the full attempt history and the quarantine
+    reason.  The payload is what ``repro batch`` items are made of, so a
+    quarantine record doubles as a regression-corpus entry.
+    """
+    try:
+        system_payload: Any = system_to_dict(system)
+    except Exception as exc:  # exotic/poisoned system objects
+        system_payload = {
+            "unserializable": f"{type(exc).__name__}: {exc}",
+            "repr": repr(system)[:500],
+        }
+    return {
+        "schema": QUARANTINE_SCHEMA_VERSION,
+        "kind": "repro.batch.quarantine",
+        "reason": reason,
+        "method": method,
+        "horizon": dataclasses.asdict(horizon) if horizon is not None else None,
+        "options": dataclasses.asdict(options) if options is not None else None,
+        "attempts": list(attempts),
+        "system": system_payload,
+    }

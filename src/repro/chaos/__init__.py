@@ -1,0 +1,36 @@
+"""Chaos engineering for the batch subsystem.
+
+Deterministic fault injection (:mod:`repro.chaos.faults`) plus the
+campaign harness (:mod:`repro.chaos.harness`) that kills, tampers with
+and resumes a journaled batch run and proves the result equivalent to an
+uninterrupted one.  ``python -m repro chaos`` drives it from the CLI;
+``docs/robustness.md`` explains the failure model.
+"""
+
+from .faults import (
+    ChaosInjector,
+    ChaosTransientError,
+    corrupt_journal_tail,
+    truncate_journal_tail,
+)
+from .harness import (
+    ChaosConfig,
+    ChaosReport,
+    generate_campaign,
+    normalize_record,
+    run_campaign,
+    run_chaos,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosInjector",
+    "ChaosReport",
+    "ChaosTransientError",
+    "corrupt_journal_tail",
+    "generate_campaign",
+    "normalize_record",
+    "run_campaign",
+    "run_chaos",
+    "truncate_journal_tail",
+]

@@ -222,8 +222,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-validate each analyzed item against the simulator; "
         "violation records are added to the output lines",
     )
+    p_bat.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="write-ahead journal: append each item's outcome to FILE "
+        "(crash-safe JSONL) as soon as it is known",
+    )
+    p_bat.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --journal: resume an interrupted campaign, skipping "
+        "items already journaled",
+    )
+    p_bat.add_argument(
+        "--retry",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry transient failures (timeouts, worker crashes) up to N "
+        "attempts per item; poison items are quarantined with a "
+        "reproduction payload",
+    )
     _add_compact_args(p_bat)
     _add_obs_args(p_bat)
+
+    p_ch = sub.add_parser(
+        "chaos",
+        help="fault-injection harness: kill, tamper with and resume a "
+        "journaled batch campaign, then verify it matches an "
+        "uninterrupted run",
+    )
+    p_ch.add_argument("--items", type=int, default=50)
+    p_ch.add_argument("--seed", type=int, default=7)
+    p_ch.add_argument(
+        "--method", default="SPP/Exact", choices=sorted(METHODS), metavar="METHOD"
+    )
+    p_ch.add_argument("--workers", type=int, default=2)
+    p_ch.add_argument(
+        "--journal",
+        default="chaos.wal",
+        metavar="FILE",
+        help="journal file the campaign writes/resumes (default: chaos.wal)",
+    )
+    p_ch.add_argument("--kill-rate", type=float, default=0.02,
+                      help="per-item probability of SIGKILLing the worker")
+    p_ch.add_argument("--timeout-rate", type=float, default=0.04,
+                      help="per-item probability of an injected timeout")
+    p_ch.add_argument("--error-rate", type=float, default=0.04,
+                      help="per-item probability of an injected transient error")
+    p_ch.add_argument(
+        "--kill-points",
+        default="7,19",
+        metavar="N,N,...",
+        help="SIGKILL the campaign after these journal-append counts, one "
+        "run per point (each run resumes the previous journal)",
+    )
+    p_ch.add_argument(
+        "--tamper",
+        choices=["none", "truncate", "corrupt"],
+        default="truncate",
+        help="damage the journal tail after the first kill (default: truncate)",
+    )
+    p_ch.add_argument("--max-attempts", type=int, default=4)
+    p_ch.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the chaos report JSON to FILE",
+    )
+    p_ch.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    p_ch.add_argument(
+        "--kill-after", type=int, default=None, help=argparse.SUPPRESS
+    )
+    p_ch.add_argument(
+        "--no-inject", action="store_true", help=argparse.SUPPRESS
+    )
 
     p_aud = sub.add_parser(
         "audit", help="randomized soundness audit (analysis vs simulation)"
@@ -435,7 +507,7 @@ def _cmd_figures(args) -> int:
 
 
 def _cmd_batch(args) -> int:
-    from .batch import BatchEngine, BatchItem
+    from .batch import BatchEngine, BatchItem, RetryPolicy
     from .model.io import system_from_dict
 
     if args.input == "-":
@@ -473,6 +545,9 @@ def _cmd_batch(args) -> int:
 
     from .obs import observe
 
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
     engine = BatchEngine(
         n_workers=args.workers,
         chunksize=args.chunksize,
@@ -480,6 +555,9 @@ def _cmd_batch(args) -> int:
         use_cache=not args.no_cache,
         audit=args.audit,
         options=_options_from_args(args),
+        retry=RetryPolicy(max_attempts=args.retry) if args.retry else None,
+        journal=args.journal,
+        resume=args.resume,
     )
     with observe(trace_out=args.trace_out, metrics_out=args.metrics_out):
         report = engine.run(items)
@@ -547,6 +625,18 @@ def _cmd_audit(args) -> int:
     return 0 if report.ok else 2
 
 
+def _cmd_chaos(args) -> int:
+    from .chaos import harness
+
+    if args.child:
+        return harness.main_child(args)
+    args.kill_points = [
+        int(x) for x in str(args.kill_points).split(",") if x.strip()
+    ]
+    code, _report = harness.main_parent(args)
+    return code
+
+
 def _cmd_methods(_args) -> int:
     for name in sorted(METHODS):
         print(f"  {name:14s} {METHODS[name].__doc__.strip().splitlines()[0]}")
@@ -561,6 +651,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "figures": _cmd_figures,
         "batch": _cmd_batch,
+        "chaos": _cmd_chaos,
         "audit": _cmd_audit,
         "trace": _cmd_trace,
         "report": _cmd_report,

@@ -1,0 +1,97 @@
+"""Crash-safe file output shared by every artifact writer.
+
+A process killed mid-``write()`` leaves a truncated file; a campaign that
+then trusts that file (a half-written ``BENCH_*.json``, a torn trace, a
+clipped audit counterexample) fails much later and much more confusingly
+than the crash itself.  Every artifact the project writes therefore goes
+through :func:`write_text_atomic` / :func:`write_json_atomic`: the
+payload is written to a temporary file *in the destination directory*
+(same filesystem, so the final rename cannot cross devices), flushed and
+fsynced, and then moved over the destination with :func:`os.replace`.
+Readers see either the old complete file or the new complete file, never
+a prefix of the new one.
+
+The journal (:mod:`repro.batch.journal`) is the one writer that does not
+fit this shape -- it appends incrementally by design -- and handles its
+own durability with per-record framing and fsync intervals instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Union
+
+__all__ = ["write_text_atomic", "write_json_atomic", "fsync_path"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def fsync_path(path: PathLike) -> None:
+    """Best-effort fsync of an existing file or directory.
+
+    Directory fsync pins the rename itself; platforms that cannot open a
+    directory (Windows) or fsync one (some network filesystems) degrade
+    to a no-op rather than an error.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_text_atomic(path: PathLike, text: str, durable: bool = True) -> str:
+    """Atomically replace ``path`` with ``text``; returns the final path.
+
+    ``durable=True`` fsyncs the temporary file before the rename (and the
+    directory after), so the content survives a power cut, not just a
+    process kill.  Writers on hot paths may pass ``durable=False`` to
+    keep the atomicity without the synchronous disk barrier.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=f".{os.path.basename(path)}.", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            if durable:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_path(directory)
+    return path
+
+
+def write_json_atomic(
+    path: PathLike,
+    payload: Any,
+    indent: int | None = 2,
+    sort_keys: bool = False,
+    durable: bool = True,
+    default: Any = None,
+) -> str:
+    """Atomically write ``payload`` as strict JSON (trailing newline)."""
+    text = json.dumps(
+        payload,
+        indent=indent,
+        sort_keys=sort_keys,
+        allow_nan=False,
+        default=default,
+    )
+    return write_text_atomic(path, text + "\n", durable=durable)

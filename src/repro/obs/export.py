@@ -18,6 +18,7 @@ import json
 import math
 from typing import Any, Dict, List, Sequence, Union
 
+from ..ioutil import write_text_atomic
 from .metrics import MetricsRegistry
 from .trace import Span, TraceCollector
 
@@ -83,9 +84,7 @@ def chrome_trace_json(
 def write_chrome_trace(
     path: str, source: Union[TraceCollector, Sequence[SpanLike]]
 ) -> None:
-    with open(path, "w") as fh:
-        fh.write(chrome_trace_json(source))
-        fh.write("\n")
+    write_text_atomic(path, chrome_trace_json(source) + "\n")
 
 
 # ----------------------------------------------------------------------
@@ -144,5 +143,4 @@ def prometheus_text(source: Union[MetricsRegistry, Dict[str, Any]]) -> str:
 def write_prometheus(
     path: str, source: Union[MetricsRegistry, Dict[str, Any]]
 ) -> None:
-    with open(path, "w") as fh:
-        fh.write(prometheus_text(source))
+    write_text_atomic(path, prometheus_text(source))

@@ -1,0 +1,243 @@
+"""Tests for retry/backoff/quarantine/degradation (repro.batch.retry)."""
+
+import pytest
+
+from repro.analysis.admission import METHODS
+from repro.analysis.options import AnalysisOptions
+from repro.batch import (
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    BatchEngine,
+    BatchItem,
+    RetryPolicy,
+    degradation_rungs,
+)
+from repro.batch.retry import (
+    DEGRADED_BUDGET,
+    escalate_rung,
+    quarantine_payload,
+)
+from repro.curves.compact import MIN_BUDGET
+from repro.model import (
+    Job,
+    JobSet,
+    PeriodicArrivals,
+    System,
+    assign_priorities_proportional_deadline,
+)
+from repro.model.io import system_from_dict, system_to_dict
+
+
+def small_system(period=5.0, wcet=1.0, deadline=10.0):
+    jobs = [
+        Job.build("a", [("cpu", wcet)], PeriodicArrivals(period), deadline),
+        Job.build("b", [("cpu", 2 * wcet)], PeriodicArrivals(1.2 * period), deadline),
+    ]
+    sys_ = System(JobSet(jobs), "spp")
+    assign_priorities_proportional_deadline(sys_)
+    return sys_
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_pool_kills=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(hang_timeout=0.0)
+
+    def test_transient_classification(self):
+        p = RetryPolicy()
+        assert p.is_transient("timeout")
+        assert p.is_transient("crash")
+        assert not p.is_transient("ok")
+        assert not p.is_transient("error", "ValueError: bad model")
+        assert p.is_transient("error", "OSError: disk went away")
+        assert p.is_transient("error", "ChaosTransientError: injected")
+
+    def test_should_retry_bounds_attempts(self):
+        p = RetryPolicy(max_attempts=3)
+        assert p.should_retry(1, "timeout")
+        assert p.should_retry(2, "timeout")
+        assert not p.should_retry(3, "timeout")
+        assert not p.should_retry(1, "error", "ValueError: nope")
+
+    def test_delay_grows_and_caps(self):
+        p = RetryPolicy(base_delay=0.5, jitter=0.0, max_delay=2.0)
+        assert p.delay(1) == pytest.approx(0.5)
+        assert p.delay(2) == pytest.approx(1.0)
+        assert p.delay(3) == pytest.approx(2.0)
+        assert p.delay(10) == pytest.approx(2.0)
+
+    def test_delay_jitter_is_deterministic_and_bounded(self):
+        p = RetryPolicy(base_delay=1.0, jitter=0.2, max_delay=100.0)
+        d1, d2 = p.delay(1, key="item-a"), p.delay(1, key="item-a")
+        assert d1 == d2
+        assert 0.8 <= d1 <= 1.2
+        assert p.delay(1, key="item-b") != d1
+        assert RetryPolicy(base_delay=1.0, jitter=0.2, seed=1).delay(
+            1, key="item-a"
+        ) != d1
+
+    def test_zero_base_delay_never_sleeps(self):
+        assert RetryPolicy(base_delay=0.0).delay(5, key="x") == 0.0
+
+
+class TestDegradationLadder:
+    def test_default_ladder(self):
+        rungs = degradation_rungs(None)
+        assert rungs[0] is None
+        assert rungs[1].compact_mode == "budget"
+        assert rungs[1].compact_budget == DEGRADED_BUDGET
+        assert rungs[-1].backend == "python"
+
+    def test_budget_is_halved(self):
+        base = AnalysisOptions(compact_budget=256)
+        rungs = degradation_rungs(base)
+        assert rungs[1].compact_budget == 128
+
+    def test_budget_floor(self):
+        base = AnalysisOptions(compact_budget=MIN_BUDGET)
+        rungs = degradation_rungs(base)
+        # Already at the floor: no budget rung, straight to the backend.
+        assert all(
+            r.compact_budget == MIN_BUDGET for r in rungs if r is not None
+        )
+
+    def test_python_backend_has_no_backend_rung(self):
+        base = AnalysisOptions(backend="python")
+        rungs = degradation_rungs(base)
+        assert all(r is None or r.backend == "python" for r in rungs)
+
+    def test_escalation(self):
+        # First failure repeats the rung; later ones step down.
+        assert escalate_rung(0, 3, 1, "timeout") == 0
+        assert escalate_rung(0, 3, 2, "timeout") == 1
+        assert escalate_rung(1, 3, 3, "timeout") == 2
+        assert escalate_rung(2, 3, 5, "timeout") == 2  # clamped
+        assert escalate_rung(0, 1, 4, "timeout") == 0  # no ladder
+        # A numpy-implicated crash jumps to the python-backend rung.
+        assert escalate_rung(0, 3, 1, "crash", "numpy segfault in kernel") == 2
+
+
+class TestQuarantinePayload:
+    def test_payload_reproduces_the_item(self):
+        sys_ = small_system()
+        payload = quarantine_payload(
+            sys_, "SPP/Exact", None, None, [{"attempt": 1}], "kept crashing"
+        )
+        assert payload["kind"] == "repro.batch.quarantine"
+        assert payload["reason"] == "kept crashing"
+        rebuilt = system_from_dict(payload["system"])
+        assert system_to_dict(rebuilt) == system_to_dict(sys_)
+
+    def test_unserializable_system_does_not_raise(self):
+        payload = quarantine_payload(
+            object(), "SPP/Exact", None, None, [], "poison"
+        )
+        assert "unserializable" in payload["system"]
+
+
+# ----------------------------------------------------------------------
+# engine integration (serial path; the pool path is covered by the
+# crash-isolation tests)
+# ----------------------------------------------------------------------
+
+_FLAKY_CALLS = {"n": 0}
+
+
+class _FlakyAnalysis:
+    """Fails transiently (OSError) until the third call, then succeeds."""
+
+    name = "Flaky"
+    policy = None
+
+    def __init__(self, horizon=None, options=None):
+        self.horizon = horizon
+        self.options = options
+
+    def analyze(self, system):
+        _FLAKY_CALLS["n"] += 1
+        if _FLAKY_CALLS["n"] < 3:
+            raise OSError("transient wobble")
+        return METHODS["SPP/Exact"](self.horizon, options=self.options).analyze(
+            system
+        )
+
+
+class _AlwaysDown:
+    """Every call fails with a transient error."""
+
+    name = "Down"
+    policy = None
+
+    def __init__(self, horizon=None, options=None):
+        self.horizon = horizon
+        self.options = options
+
+    def analyze(self, system):
+        raise OSError("still down")
+
+
+class TestEngineRetry:
+    def test_transient_error_retried_to_success(self, monkeypatch):
+        monkeypatch.setitem(METHODS, "Flaky", _FlakyAnalysis)
+        _FLAKY_CALLS["n"] = 0
+        engine = BatchEngine(
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0, degrade=False)
+        )
+        report = engine.run([BatchItem(small_system(), method="Flaky")])
+        rec = report[0]
+        assert rec.status == STATUS_OK
+        assert len(rec.attempts) == 3
+        assert [a["status"] for a in rec.attempts] == ["error", "error", "ok"]
+        assert _FLAKY_CALLS["n"] == 3
+        assert "attempts" in rec.to_dict()
+
+    def test_exhausted_transient_is_quarantined(self, monkeypatch):
+        monkeypatch.setitem(METHODS, "Down", _AlwaysDown)
+        engine = BatchEngine(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, degrade=False)
+        )
+        report = engine.run([BatchItem(small_system(), method="Down")])
+        rec = report[0]
+        assert rec.status == STATUS_QUARANTINED
+        assert len(rec.attempts) == 2
+        assert rec.quarantine is not None
+        assert rec.quarantine["kind"] == "repro.batch.quarantine"
+        assert report.n_quarantined == 1
+        payload = rec.to_dict()
+        assert payload["status"] == "quarantined"
+        assert payload["quarantine"]["attempts"] == rec.attempts
+
+    def test_deterministic_error_not_retried(self, monkeypatch):
+        calls = {"n": 0}
+
+        class _Broken:
+            name = "Broken"
+            policy = None
+
+            def __init__(self, horizon=None, options=None):
+                pass
+
+            def analyze(self, system):
+                calls["n"] += 1
+                raise ValueError("model rejected")
+
+        monkeypatch.setitem(METHODS, "Broken", _Broken)
+        engine = BatchEngine(retry=RetryPolicy(max_attempts=3, base_delay=0.0))
+        report = engine.run([BatchItem(small_system(), method="Broken")])
+        assert report[0].status == "error"
+        assert calls["n"] == 1
+        assert report[0].attempts == []
+
+    def test_no_policy_means_no_retry(self, monkeypatch):
+        monkeypatch.setitem(METHODS, "Down", _AlwaysDown)
+        report = BatchEngine().run([BatchItem(small_system(), method="Down")])
+        assert report[0].status == "error"
+        assert report[0].attempts == []

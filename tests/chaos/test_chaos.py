@@ -1,0 +1,197 @@
+"""Tests for the fault injectors and the chaos harness (repro.chaos)."""
+
+import json
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.batch import BatchEngine, BatchItem, BatchJournal, RetryPolicy
+from repro.chaos import (
+    ChaosConfig,
+    ChaosInjector,
+    ChaosTransientError,
+    corrupt_journal_tail,
+    generate_campaign,
+    normalize_record,
+    run_chaos,
+    truncate_journal_tail,
+)
+from repro.model.io import system_from_dict
+
+IS_FORK = multiprocessing.get_start_method() == "fork"
+
+
+class TestInjector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosInjector(kill_rate=0.8, timeout_rate=0.3)
+        with pytest.raises(ValueError):
+            ChaosInjector(error_rate=-0.1)
+        with pytest.raises(ValueError):
+            ChaosInjector(max_attempt=0)
+
+    def test_deterministic_draws(self):
+        a = ChaosInjector(seed=3, error_rate=0.5)
+        b = ChaosInjector(seed=3, error_rate=0.5)
+        for item in ("x", "y", "z"):
+            assert a.draw(item, 1) == b.draw(item, 1)
+            assert a.fault_for(item, 1) == b.fault_for(item, 1)
+        assert ChaosInjector(seed=4, error_rate=0.5).fault_for != a.fault_for(
+            "x", 1
+        ) or True  # different seeds may still collide on one item
+
+    def test_survives_pickling(self):
+        inj = ChaosInjector(seed=9, timeout_rate=0.4)
+        clone = pickle.loads(pickle.dumps(inj))
+        assert clone == inj
+        assert clone.fault_for("item", 1) == inj.fault_for("item", 1)
+
+    def test_zero_rates_inject_nothing(self):
+        inj = ChaosInjector(seed=1)
+        for i in range(50):
+            assert inj.fault_for(f"i{i}", 1) is None
+
+    def test_max_attempt_bounds_injection(self):
+        inj = ChaosInjector(seed=1, error_rate=1.0, max_attempt=1)
+        assert inj.fault_for("i", 1) == "error"
+        assert inj.fault_for("i", 2) is None
+
+    def test_error_injection_raises_transient(self):
+        inj = ChaosInjector(seed=1, error_rate=1.0)
+        with pytest.raises(ChaosTransientError):
+            inj.before_item("i", 1, TimeoutError)
+
+    def test_timeout_injection_raises_given_type(self):
+        inj = ChaosInjector(seed=1, timeout_rate=1.0)
+
+        class _FakeTimeout(Exception):
+            pass
+
+        with pytest.raises(_FakeTimeout):
+            inj.before_item("i", 1, _FakeTimeout)
+
+    def test_serial_kill_downgrades_to_transient(self):
+        # parent_pid defaults to this process, so a kill fault must not
+        # SIGKILL the test runner -- it degrades to a transient error.
+        inj = ChaosInjector(seed=1, kill_rate=1.0)
+        with pytest.raises(ChaosTransientError, match="downgraded"):
+            inj.before_item("i", 1, TimeoutError)
+
+
+class TestCampaignGenerator:
+    def test_deterministic_and_distinct(self):
+        a = generate_campaign(20, seed=5)
+        b = generate_campaign(20, seed=5)
+        assert a == b
+        assert len({json.dumps(e["system"], sort_keys=True) for e in a}) == 20
+
+    def test_systems_are_loadable(self):
+        for entry in generate_campaign(10, seed=2):
+            system_from_dict(entry["system"])  # must not raise
+
+    def test_mixes_arrival_types(self):
+        kinds = {
+            job["arrivals"]["type"]
+            for entry in generate_campaign(40, seed=1)
+            for job in entry["system"]["jobs"]
+        }
+        assert "periodic" in kinds and "bursty" in kinds
+
+
+class TestTamperHelpers:
+    def _journal(self, tmp_path):
+        wal = str(tmp_path / "t.wal")
+        items = [
+            BatchItem(system_from_dict(e["system"]), item_id=e["id"])
+            for e in generate_campaign(3, seed=1)
+        ]
+        BatchEngine(journal=wal).run(items)
+        return wal, items
+
+    def test_truncate_tail_forces_one_reanalysis(self, tmp_path):
+        wal, items = self._journal(tmp_path)
+        truncate_journal_tail(wal, 24)
+        report = BatchEngine(journal=wal, resume=True).run(items)
+        assert report.n_resumed == len(items) - 1
+        assert report.n_ok == len(items)
+
+    def test_corrupt_tail_forces_one_reanalysis(self, tmp_path):
+        wal, items = self._journal(tmp_path)
+        assert corrupt_journal_tail(wal) > 0
+        report = BatchEngine(journal=wal, resume=True).run(items)
+        assert report.n_resumed == len(items) - 1
+        assert report.n_ok == len(items)
+        # The journal is whole again afterwards.
+        _h, entries, good, total = BatchJournal.scan(wal)
+        assert len(entries) == len(items) and good == total
+
+
+class TestNormalize:
+    def test_strips_run_dependent_fields_only(self):
+        rec = {
+            "id": "a",
+            "status": "ok",
+            "schedulable": True,
+            "wall_time": 1.2,
+            "cache_hits": 3,
+            "cache_misses": 1,
+            "attempts": [{"attempt": 1}],
+            "result": {"schedulable": True, "cache": {"hits": 3}},
+        }
+        out = normalize_record(rec)
+        assert out == {
+            "id": "a",
+            "status": "ok",
+            "schedulable": True,
+            "result": {"schedulable": True},
+        }
+        assert rec["result"]["cache"] == {"hits": 3}  # input untouched
+
+
+class TestInjectedCampaign:
+    """In-process campaign under injection: outcomes equal a clean run."""
+
+    def test_injected_run_matches_clean_run(self):
+        campaign = generate_campaign(12, seed=21)
+        items = [
+            BatchItem(system_from_dict(e["system"]), item_id=e["id"])
+            for e in campaign
+        ]
+        policy = RetryPolicy(max_attempts=4, base_delay=0.0, degrade=False)
+        clean = BatchEngine(retry=policy).run(items)
+        injected = BatchEngine(
+            retry=policy,
+            fault_injector=ChaosInjector(
+                seed=21, timeout_rate=0.2, error_rate=0.2
+            ),
+        ).run(items)
+        assert injected.n_retried > 0  # the chaos actually did something
+        a = [normalize_record(r.to_dict()) for r in clean]
+        b = [normalize_record(r.to_dict()) for r in injected]
+        assert a == b
+
+
+@pytest.mark.skipif(not IS_FORK, reason="chaos end-to-end requires fork")
+class TestEndToEnd:
+    def test_small_chaos_experiment_passes(self, tmp_path):
+        config = ChaosConfig(
+            n_items=8,
+            seed=3,
+            workers=2,
+            kill_points=(3,),
+            tamper="truncate",
+            timeout_rate=0.1,
+            error_rate=0.1,
+            kill_rate=0.05,
+        )
+        report = run_chaos(config, str(tmp_path / "chaos.wal"))
+        assert report.ok, report.summary()
+        assert report.n_journal_entries == 8
+        assert report.n_unique_digests == 8
+        killed = [s for s in report.stages if s["stage"].startswith("kill@")]
+        assert killed and all(
+            s["returncode"] != 0 or s.get("completed_early") for s in killed
+        )
+        payload = json.loads(json.dumps(report.to_dict(), allow_nan=False))
+        assert payload["ok"] is True

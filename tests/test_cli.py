@@ -224,3 +224,40 @@ class TestReportCommand:
     def test_report_with_simulation(self, system_file, capsys):
         assert main(["report", system_file, "--method", "SPP/Exact"]) == 0
         assert "## Simulation cross-check" in capsys.readouterr().out
+
+
+class TestBatchJournalCLI:
+    def _write_items(self, tmp_path, n=3):
+        path = tmp_path / "items.jsonl"
+        path.write_text(
+            "\n".join(
+                json.dumps({"id": f"it{i}", "system": SYSTEM}) for i in range(n)
+            )
+            + "\n"
+        )
+        return str(path)
+
+    def test_journal_then_resume(self, tmp_path, capsys):
+        items = self._write_items(tmp_path)
+        wal = str(tmp_path / "campaign.wal")
+        assert main(["batch", items, "--journal", wal]) == 0
+        first = capsys.readouterr()
+        assert main(["batch", items, "--journal", wal, "--resume"]) == 0
+        second = capsys.readouterr()
+        assert "resumed=3" in second.err
+        # Resumed records are byte-equal to the original run's.
+        assert first.out == second.out
+
+    def test_resume_requires_journal_flag(self, tmp_path, capsys):
+        items = self._write_items(tmp_path)
+        assert main(["batch", items, "--resume"]) == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_retry_flag_accepted(self, tmp_path, capsys):
+        items = self._write_items(tmp_path, n=1)
+        assert main(["batch", items, "--retry", "2"]) == 0
+        records = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert records[0]["status"] == "ok"
+        assert "attempts" not in records[0]  # clean run: no retry history
