@@ -21,13 +21,20 @@ way: a journaled campaign over the breakpoint-heavy bursty fixture
 (16 jobs x 2000 instances, see ``bench_analysis.bursty_fixture``) must
 stay within 5% of the identical campaign with ``journal=None``.
 
+A fifth, ``status-overhead``, guards the live-telemetry layer: the same
+bursty campaign run under ``Fixpoint/App`` with a status file
+(``--status``) *and* per-sweep convergence telemetry
+(``AnalysisOptions(convergence=True)``) must stay within 5% of the
+identical campaign with both off.
+
 Metrics (wall times, speedup, cache hit rates) are written to
 ``benchmarks/results/batch_engine.txt``.  Also runnable standalone:
 ``PYTHONPATH=src python benchmarks/bench_batch.py
-[--obs-overhead | --journal-overhead]``.
+[--obs-overhead | --journal-overhead | --status-overhead]``.
 """
 
 import os
+import statistics
 import sys
 import tempfile
 import time
@@ -210,6 +217,92 @@ def _journal_overhead(items, repeats: int = 3, budget: float = 1.05) -> float:
     return ratio
 
 
+def _bursty_fixpoint_items(n_items: int = 3, convergence: bool = False):
+    """The bursty fixture under the fixpoint analyzer.
+
+    ``Fixpoint/App`` is the analyzer whose sweep loop records the
+    convergence telemetry, so the overhead gate has to run it -- with
+    the flag off this is the telemetry bench's own baseline.
+    """
+    from bench_analysis import bursty_fixture
+
+    options = AnalysisOptions(compact_budget=64, convergence=convergence)
+    return [
+        BatchItem(
+            system=bursty_fixture(wcet=0.1 + 0.001 * i),
+            method="Fixpoint/App",
+            options=options,
+            item_id=f"bursty{i}",
+        )
+        for i in range(n_items)
+    ]
+
+
+def _status_overhead(repeats: int = 5, budget: float = 1.05) -> float:
+    """Status-file + convergence-telemetry wall time; returns the ratio.
+
+    The instrumented side publishes a live status file at the default
+    production interval and records per-sweep convergence telemetry; the
+    plain side runs the identical campaign with both off.  Run-to-run
+    wall-time wobble on a shared box easily exceeds the 5% budget, so
+    the two sides are paired: each round times one plain and one
+    instrumented campaign back to back (alternating order to cancel
+    drift within a round) and the gate is the *median* per-round ratio.
+    """
+    plain_items = _bursty_fixpoint_items()
+    teled_items = _bursty_fixpoint_items(convergence=True)
+
+    tmpdir = tempfile.mkdtemp(prefix="bench-status-")
+    counter = {"n": 0}
+    last: list = []
+
+    def plain():
+        return BatchEngine(use_cache=True).run(plain_items)
+
+    def with_status():
+        counter["n"] += 1
+        path = os.path.join(tmpdir, f"run{counter['n']}.status.json")
+        report = BatchEngine(use_cache=True, status=path).run(teled_items)
+        os.unlink(path)
+        last[:] = [r.schedulable for r in report]
+
+    baseline = [r.schedulable for r in plain()]  # also warms caches
+    with_status()
+
+    ratios = []
+    for round_ in range(repeats):
+        first, second = (
+            (plain, with_status) if round_ % 2 == 0 else (with_status, plain)
+        )
+        t0 = time.perf_counter()
+        first()
+        t_first = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        second()
+        t_second = time.perf_counter() - t0
+        t_off, t_on = (
+            (t_first, t_second) if round_ % 2 == 0 else (t_second, t_first)
+        )
+        ratios.append(t_on / t_off if t_off else float("inf"))
+    os.rmdir(tmpdir)
+
+    assert last == baseline, "telemetry must not change verdicts"
+    ratio = statistics.median(ratios)
+    _lines.append(
+        "status-overhead: per-round ratios "
+        + " ".join(f"{r:.3f}" for r in ratios)
+        + f" -> median {ratio:.3f} ({repeats} paired rounds, "
+        f"budget {budget:.2f})"
+    )
+    print(_lines[-1])
+    write_result("batch_engine.txt", "\n".join(_lines) + "\n")
+    assert ratio < budget, (
+        f"status/convergence overhead {100 * (ratio - 1):.1f}% exceeds "
+        f"{100 * (budget - 1):.0f}% budget"
+    )
+    return ratio
+
+
 def test_batch_sweep_speedup(benchmark):
     items = _make_items(n_sets=8, seed=2024)
     engine = BatchEngine(n_workers=4, use_cache=True)
@@ -247,6 +340,11 @@ def test_journal_overhead_within_budget(benchmark):
     assert ratio < 1.05
 
 
+def test_status_overhead_within_budget(benchmark):
+    ratio = benchmark.pedantic(_status_overhead, rounds=1, iterations=1)
+    assert ratio < 1.05
+
+
 def main() -> None:
     if "--obs-overhead" in sys.argv:
         _obs_overhead(_make_items(n_sets=4, seed=2026))
@@ -254,12 +352,16 @@ def main() -> None:
     if "--journal-overhead" in sys.argv:
         _journal_overhead(_bursty_items())
         return
+    if "--status-overhead" in sys.argv:
+        _status_overhead()
+        return
     items = _make_items(n_sets=8, seed=2024)
     _compare("sweep", items, BatchEngine(n_workers=4, use_cache=True))
     items = _make_items(n_sets=6, seed=2025, passes=4)
     _compare("revalidation", items, BatchEngine(n_workers=1, use_cache=True))
     _obs_overhead(_make_items(n_sets=4, seed=2026))
     _journal_overhead(_bursty_items())
+    _status_overhead()
 
 
 if __name__ == "__main__":

@@ -153,6 +153,11 @@ class AnalysisResult:
     #: "metrics": {...}}``), attached by callers that request it (e.g.
     #: ``repro trace --embed``).  ``None`` keeps payloads unchanged.
     observability: Optional[Dict[str, Any]] = None
+    #: Opt-in fixpoint convergence telemetry (per-round sweep records:
+    #: residuals, hop deltas, dirty-set sizes; see ``AnalysisOptions
+    #: (convergence=True)`` and ``docs/observability.md``).  ``None``
+    #: -- the default -- keeps payloads byte-identical.
+    convergence: Optional[Dict[str, Any]] = None
 
     @property
     def schedulable(self) -> bool:
@@ -219,6 +224,8 @@ class AnalysisResult:
             payload["cache"] = dict(self.cache_stats)
         if self.observability is not None:
             payload["observability"] = self.observability
+        if self.convergence is not None:
+            payload["convergence"] = self.convergence
         return payload
 
     def to_json(self, indent: Optional[int] = None) -> str:

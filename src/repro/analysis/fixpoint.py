@@ -34,6 +34,8 @@ import numpy as np
 from ..curves import Curve, fcfs_utilization, sum_curves
 from ..model.system import SchedulingPolicy, System
 from ..obs.metrics import inc as _metric_inc
+from ..obs.metrics import metrics_enabled as _metrics_enabled
+from ..obs.metrics import set_gauge as _metric_set_gauge
 from ..obs.trace import trace_span
 from .base import AnalysisResult, EndToEndResult
 from .compositional import blocking_time
@@ -70,6 +72,36 @@ def _totals_close(a: Dict[str, float], b: Dict[str, float]) -> bool:
         if abs(x - y) > _ABS_TOL + _REL_TOL * max(abs(x), abs(y)):
             return False
     return True
+
+
+def _max_delta(
+    current: Dict[Any, float], previous: Optional[Dict[Any, float]]
+) -> Optional[float]:
+    """Worst absolute movement between two bound vectors.
+
+    ``None`` when there is no previous iterate; ``inf`` when a value
+    crossed between finite and infinite (a hop bound resolving).
+    """
+    if previous is None:
+        return None
+    worst = 0.0
+    for key, value in current.items():
+        prev = previous.get(key)
+        if prev is None:
+            return math.inf
+        if not (math.isfinite(value) and math.isfinite(prev)):
+            if value != prev:  # inf == inf compares equal, no movement
+                return math.inf
+            continue
+        worst = max(worst, abs(value - prev))
+    return worst
+
+
+def _telemetry_float(value: Optional[float]) -> Optional[float]:
+    """Residuals/deltas for the strict-JSON convergence block."""
+    if value is None or not math.isfinite(value):
+        return None
+    return float(value)
 
 
 class FixpointAnalysis:
@@ -253,8 +285,19 @@ class FixpointAnalysis:
         diagnostics = []
         delays: Dict[Key, float] = {}
         hop_ok: Dict[Key, bool] = {}
+        # Convergence telemetry is opt-in (AnalysisOptions.convergence);
+        # the residual gauge additionally needs an active registry.
+        telemetry = self.options is not None and self.options.convergence
+        introspect = telemetry or _metrics_enabled()
+        sweep_records = []
+        stable = False
         for sweep in range(self.max_iterations):
             with trace_span("fixpoint.sweep", sweep=sweep + 1, horizon=h) as span:
+                prev_delays = (
+                    dict(state["delays"])
+                    if telemetry and state["changed"] is not None
+                    else None
+                )
                 delays, hop_ok, skipped = self._sweep_once(
                     system, subs, h, n_analyzed, early, late, state
                 )
@@ -263,10 +306,34 @@ class FixpointAnalysis:
                     for job in job_set
                 }
                 span.set_attrs(bounded=all(hop_ok.values()), skipped=skipped)
+                if introspect:
+                    residual = _max_delta(totals, prev_totals)
+                    _metric_inc("repro_fixpoint_sweeps_total")
+                    if residual is not None and math.isfinite(residual):
+                        _metric_set_gauge("repro_fixpoint_residual", residual)
+                    span.set_attrs(
+                        residual=residual if residual is not None else "first",
+                        dirty=len(subs) - skipped,
+                    )
+                if telemetry:
+                    sweep_records.append(
+                        {
+                            "sweep": sweep + 1,
+                            "residual": _telemetry_float(residual),
+                            "max_hop_delta": _telemetry_float(
+                                _max_delta(delays, prev_delays)
+                            ),
+                            "dirty": len(subs) - skipped,
+                            "skipped": skipped,
+                            "changed": len(state["changed"]),
+                            "bounded": all(hop_ok.values()),
+                        }
+                    )
             # Converged only when every bound is finite and stable: an
             # infinite total may still be propagating through the loop
             # (each sweep resolves one more hop of a cyclic chain).
             if prev_totals is not None and _totals_close(totals, prev_totals):
+                stable = True
                 break
             # Watchdog: a period-2 oscillation (this sweep matches the one
             # before last but not the last) can only repeat forever -- the
@@ -318,6 +385,20 @@ class FixpointAnalysis:
             method=self.method, horizon=h, drained=False, converged=False
         )
         result.diagnostics.extend(diagnostics)
+        if telemetry:
+            result.convergence = {
+                "horizon": h,
+                "n_sweeps": len(sweep_records),
+                "stable": stable,
+                "oscillation": any(
+                    d["kind"] == "oscillation" for d in diagnostics
+                ),
+                "budget_exhausted": any(
+                    d["kind"] == "iteration_budget_exhausted"
+                    for d in diagnostics
+                ),
+                "sweeps": sweep_records,
+            }
         all_ok = True
         for job in job_set:
             ok = all(hop_ok[s.key] for s in job.subjobs)

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..model.job import JobSet
 from ..obs.trace import trace_span
@@ -144,9 +144,34 @@ def run_adaptive(
     Either way the result comes back ``converged=False`` (exactly as if the
     round budget had been exhausted) with a structured entry appended to
     ``result.diagnostics`` naming the pattern, the round, and the horizon.
+
+    When per-round results carry a ``convergence`` telemetry block (the
+    fixpoint analyzer under ``AnalysisOptions(convergence=True)``), the
+    driver accumulates every round's block and attaches the combined
+    per-round view to the final result -- so the opt-in telemetry covers
+    the whole horizon-doubling trajectory, not just the last round.
     """
+    rounds_telemetry: List[Dict[str, Any]] = []
+
+    def observed_once(h: float, report: float) -> Tuple[AnalysisResult, bool]:
+        result, ok = analyze_once(h, report)
+        if result.convergence is not None:
+            entry = dict(result.convergence)
+            entry["round"] = len(rounds_telemetry) + 1
+            entry["drained"] = bool(ok)
+            rounds_telemetry.append(entry)
+        return result, ok
+
     with trace_span("horizon.adaptive") as span:
-        result = _run_adaptive(analyze_once, job_set, config)
+        result = _run_adaptive(observed_once, job_set, config)
+        if rounds_telemetry:
+            result.convergence = {
+                "n_rounds": len(rounds_telemetry),
+                "total_sweeps": sum(
+                    r.get("n_sweeps", 0) for r in rounds_telemetry
+                ),
+                "rounds": rounds_telemetry,
+            }
         span.set_attrs(
             rounds=result.rounds,
             horizon=result.horizon,

@@ -50,6 +50,12 @@ class AnalysisOptions:
     #: or the built-in default); both backends are bit-identical by
     #: contract, so this is a performance knob, not a semantic one.
     backend: Optional[str] = None
+    #: Record per-sweep fixpoint convergence telemetry (max residual,
+    #: per-hop bound deltas, dirty-set sizes) in the result's
+    #: ``convergence`` block.  Telemetry-only: bounds and every other
+    #: result field are unchanged, and the flag is excluded from journal
+    #: item digests.
+    convergence: bool = False
 
     def __post_init__(self) -> None:
         if self.backend is not None and self.backend not in ("numpy", "python"):

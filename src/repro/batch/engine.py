@@ -73,6 +73,7 @@ from ..curves import memo
 from ..model.system import System
 from ..obs import metrics as _obs_metrics
 from ..obs import trace as _obs_trace
+from ..obs.status import StatusWriter
 from ..obs.trace import trace_span
 from .journal import BatchJournal, campaign_fingerprint, item_digest
 from .retry import (
@@ -542,6 +543,7 @@ def _worker_chunk(payload) -> Dict[str, Any]:
     cache = memo.enable_curve_cache(cache_size) if use_cache else None
     return {
         "queue_wait": queue_wait,
+        "pid": os.getpid(),
         "results": [
             _analyze_one(
                 rec,
@@ -628,6 +630,14 @@ class BatchEngine:
         Chaos hook (see :mod:`repro.chaos`): a picklable object whose
         ``before_item(item_id, attempt, timeout_exc)`` runs in the worker
         ahead of each analysis.  Production runs leave this ``None``.
+    status:
+        Path of a live status file (see :mod:`repro.obs.status`): the
+        engine atomically rewrites it at most every ``status_interval``
+        seconds with progress counts, throughput/ETA, worker liveness
+        and the journal position.  ``None`` (the default) publishes
+        nothing.
+    status_interval:
+        Minimum seconds between two status-file writes.
     """
 
     def __init__(
@@ -644,6 +654,8 @@ class BatchEngine:
         resume: bool = False,
         max_pool_restarts: int = 8,
         fault_injector: Optional[Any] = None,
+        status: Optional[str] = None,
+        status_interval: float = 1.0,
     ) -> None:
         if chunksize is not None and chunksize <= 0:
             raise ValueError("chunksize must be positive")
@@ -651,6 +663,8 @@ class BatchEngine:
             raise ValueError("max_pool_restarts must be >= 0")
         if resume and journal is None:
             raise ValueError("resume=True requires a journal")
+        if status_interval < 0:
+            raise ValueError("status_interval must be >= 0")
         self.n_workers = int(n_workers) if n_workers else 0
         self.chunksize = chunksize
         self.timeout = timeout
@@ -663,6 +677,11 @@ class BatchEngine:
         self.resume = resume
         self.max_pool_restarts = max_pool_restarts
         self.fault_injector = fault_injector
+        self.status_path = status
+        self.status_interval = status_interval
+        #: Live :class:`~repro.obs.status.StatusWriter` while run() is
+        #: active (the pool path feeds worker liveness through it).
+        self._status: Optional[StatusWriter] = None
         # Serial-mode cache persists across run() calls, mirroring the
         # per-worker persistent caches of the pool path.
         self._serial_cache: Optional[memo.CurveCache] = (
@@ -693,11 +712,23 @@ class BatchEngine:
             if not resumed
             else [r for r in records if r[0] not in resumed]
         )
+        status = self._make_status()
+        self._status = status
         try:
             with trace_span(
                 "batch.run", n_items=len(records), n_workers=self.n_workers
             ) as span:
-                on_final = self._journal_sink(journal, digests)
+                on_final = self._status_sink(
+                    self._journal_sink(journal, digests), status
+                )
+                if status is not None:
+                    status.begin(
+                        total=len(records),
+                        n_workers=self.n_workers,
+                        journal=journal,
+                    )
+                    for r in (resumed or {}).values():
+                        status.item_done(r.status, resumed=True)
                 if self.n_workers > 1 and len(pending) > 1:
                     results = self._run_pool(pending, on_final)
                     n_workers = self.n_workers
@@ -710,6 +741,9 @@ class BatchEngine:
                 self._merge_observability(results)
                 span.set_attrs(n_ok=sum(1 for r in results if r.ok))
         finally:
+            self._status = None
+            if status is not None:
+                status.finish()
             if journal is not None:
                 journal.close()
         return BatchReport(
@@ -817,6 +851,35 @@ class BatchEngine:
         if self.options is not None and self.options.backend is not None:
             return self.options.backend
         return _backend.active_backend_name()
+
+    # ------------------------------------------------------------------
+    # live status plumbing
+    # ------------------------------------------------------------------
+
+    def _make_status(self) -> Optional[StatusWriter]:
+        if self.status_path is None:
+            return None
+        return StatusWriter(
+            self.status_path,
+            campaign="batch",
+            interval=self.status_interval,
+        )
+
+    @staticmethod
+    def _status_sink(
+        on_final: Optional[Callable[[ItemResult], None]],
+        status: Optional[StatusWriter],
+    ) -> Optional[Callable[[ItemResult], None]]:
+        """Compose the journal sink with per-item status accounting."""
+        if status is None:
+            return on_final
+
+        def sink(item: ItemResult) -> None:
+            if on_final is not None:
+                on_final(item)
+            status.item_done(item.status, retried=len(item.attempts) > 1)
+
+        return sink
 
     # ------------------------------------------------------------------
 
@@ -953,8 +1016,8 @@ class BatchEngine:
             capture = None
 
         results: List[ItemResult] = []
-        queue_waits: List[float] = []
         pending: List[_Pending] = []
+        registry = _obs_metrics.active_metrics()
 
         def finish(item: ItemResult) -> None:
             results.append(item)
@@ -962,8 +1025,13 @@ class BatchEngine:
                 on_final(item)
 
         def take(chunk_payload: Dict[str, Any]) -> None:
-            if chunk_payload.get("queue_wait") is not None:
-                queue_waits.append(chunk_payload["queue_wait"])
+            if chunk_payload.get("queue_wait") is not None and registry is not None:
+                registry.observe(
+                    "repro_batch_queue_wait_seconds",
+                    chunk_payload["queue_wait"],
+                )
+            if self._status is not None:
+                self._status.worker_seen(chunk_payload.get("pid"))
             for item in chunk_payload["results"]:
                 if policy is not None and policy.should_retry(
                     1, item.status, item.error
@@ -998,12 +1066,6 @@ class BatchEngine:
         # retry policy) or reported as a crash (without); everything else
         # comes back with a real result.
         self._supervise(pending, capture, finish)
-
-        registry = _obs_metrics.active_metrics()
-        if registry is not None and queue_waits:
-            registry.set_gauge(
-                "repro_batch_queue_wait_seconds", max(queue_waits)
-            )
         return results
 
     def _supervise(

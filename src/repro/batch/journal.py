@@ -104,11 +104,17 @@ def item_digest(
     enter the digest -- renaming or reordering a campaign keeps its
     journal valid.
     """
+    opts_payload = dataclasses.asdict(options) if options is not None else None
+    if opts_payload is not None:
+        # Telemetry-only knobs never change the analysis outcome, so they
+        # must not change the digest (journals written before the knob
+        # existed stay resumable).
+        opts_payload.pop("convergence", None)
     payload = {
         "system": system_to_dict(system),
         "method": method,
         "horizon": dataclasses.asdict(horizon) if horizon is not None else None,
-        "options": dataclasses.asdict(options) if options is not None else None,
+        "options": opts_payload,
     }
     return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()[:32]
 

@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..batch import BatchEngine, BatchItem, BatchJournal, RetryPolicy
 from ..model.io import system_from_dict
+from ..obs.status import read_status
 from .faults import ChaosInjector, corrupt_journal_tail, truncate_journal_tail
 
 __all__ = [
@@ -167,13 +168,17 @@ def run_campaign(
     journal_path: str,
     kill_after: Optional[int] = None,
     inject: bool = True,
+    status: Optional[str] = None,
+    status_interval: float = 1.0,
 ) -> None:
     """Run (or resume) the campaign in *this* process.
 
     This is the child side of the harness (``repro chaos --child``): it
     opens/creates the journal, arms the fault injector and runs to
     completion -- unless ``kill_after`` journal appends happen first, in
-    which case the process SIGKILLs itself mid-campaign.
+    which case the process SIGKILLs itself mid-campaign.  With ``status``
+    the campaign additionally publishes a live status file, which the
+    parent verifies against the uninterrupted baseline.
     """
     items = _build_items(
         generate_campaign(config.n_items, config.seed), config.method
@@ -184,6 +189,8 @@ def run_campaign(
         journal=_KillAfterJournal(journal_path, kill_after),
         resume=os.path.exists(journal_path),
         fault_injector=config.injector() if inject else None,
+        status=status,
+        status_interval=status_interval,
     )
     engine.run(items)
 
@@ -263,7 +270,10 @@ class ChaosReport:
 
 
 def _child_command(
-    config: ChaosConfig, journal_path: str, kill_after: Optional[int]
+    config: ChaosConfig,
+    journal_path: str,
+    kill_after: Optional[int],
+    status: Optional[str] = None,
 ) -> List[str]:
     cmd = [
         sys.executable,
@@ -292,6 +302,10 @@ def _child_command(
     ]
     if kill_after is not None:
         cmd += ["--kill-after", str(kill_after)]
+    if status is not None:
+        # Tight interval: chaos campaigns are short and the final status
+        # document is what the parent verifies.
+        cmd += ["--status", status, "--status-interval", "0"]
     return cmd
 
 
@@ -341,13 +355,20 @@ def _child_env() -> Dict[str, str]:
     return env
 
 
-def run_chaos(config: ChaosConfig, journal_path: str) -> ChaosReport:
+def run_chaos(
+    config: ChaosConfig,
+    journal_path: str,
+    status_path: Optional[str] = None,
+) -> ChaosReport:
     """Run the full chaos experiment; the report says whether it held up.
 
     Stages: baseline (in-process, no faults, no journal), one killed
     child per kill point (the first followed by the configured journal
     tampering), a final child that resumes to completion, then
-    verification against the baseline.
+    verification against the baseline.  With ``status_path`` every child
+    also publishes a live status file, and verification additionally
+    requires the final (killed-then-resumed) status document to report
+    the same item counts as the uninterrupted baseline.
     """
     report = ChaosReport(config=config, n_items=config.n_items)
 
@@ -371,7 +392,7 @@ def run_chaos(config: ChaosConfig, journal_path: str) -> ChaosReport:
     env = _child_env()
     for stage_no, kill_after in enumerate(config.kill_points):
         returncode, _err = _run_child(
-            _child_command(config, journal_path, kill_after), env
+            _child_command(config, journal_path, kill_after, status_path), env
         )
         stage = {
             "stage": f"kill@{kill_after}",
@@ -401,7 +422,7 @@ def run_chaos(config: ChaosConfig, journal_path: str) -> ChaosReport:
 
     # -- final resume to completion ------------------------------------
     returncode, err = _run_child(
-        _child_command(config, journal_path, None), env
+        _child_command(config, journal_path, None, status_path), env
     )
     report.stages.append({"stage": "final", "returncode": returncode})
     if returncode != 0:
@@ -445,6 +466,41 @@ def run_chaos(config: ChaosConfig, journal_path: str) -> ChaosReport:
         report.errors.append(
             f"{report.n_mismatches} record(s) differ from the baseline"
         )
+
+    # -- status-file verification --------------------------------------
+    if status_path is not None:
+        doc = read_status(status_path)
+        if doc is None:
+            report.errors.append(
+                f"final status file {status_path!r} is missing or unreadable"
+            )
+        else:
+            by_status: Dict[str, int] = {}
+            for rec in baseline.values():
+                key = str(rec.get("status"))
+                by_status[key] = by_status.get(key, 0) + 1
+            stage = {
+                "stage": "status",
+                "state": doc.get("state"),
+                "done": doc.get("done"),
+                "resumed": doc.get("resumed"),
+                "by_status": doc.get("by_status"),
+            }
+            report.stages.append(stage)
+            if doc.get("state") != "done":
+                report.errors.append(
+                    f"final status state is {doc.get('state')!r}, not 'done'"
+                )
+            if doc.get("done") != config.n_items:
+                report.errors.append(
+                    f"final status counts {doc.get('done')} done items "
+                    f"for a {config.n_items}-item campaign"
+                )
+            if doc.get("by_status") != dict(sorted(by_status.items())):
+                report.errors.append(
+                    "final status by_status "
+                    f"{doc.get('by_status')} != baseline {by_status}"
+                )
     report.ok = not report.errors
     return report
 
@@ -466,6 +522,8 @@ def main_child(args) -> int:
         args.journal,
         kill_after=args.kill_after,
         inject=not args.no_inject,
+        status=args.status,
+        status_interval=args.status_interval,
     )
     return 0
 
@@ -484,7 +542,7 @@ def main_parent(args) -> Tuple[int, ChaosReport]:
         tamper=args.tamper,
         max_attempts=args.max_attempts,
     )
-    report = run_chaos(config, args.journal)
+    report = run_chaos(config, args.journal, status_path=args.status)
     if args.json:
         from ..ioutil import write_json_atomic
 

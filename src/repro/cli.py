@@ -44,6 +44,14 @@ Commands
 
         python -m repro trace system.json --trace-out trace.json
 
+``obs``
+    Observability utilities: ``obs watch STATUS_FILE`` renders the live
+    status file a campaign publishes via ``--status``; ``obs report``
+    combines run artifacts into one self-contained HTML report::
+
+        python -m repro obs watch status.json --once
+        python -m repro obs report --out report.html --status status.json
+
 ``methods``
     List the available analysis methods.
 
@@ -104,6 +112,14 @@ def _add_compact_args(p: argparse.ArgumentParser) -> None:
         "'auto' keeps the process default (numpy when installed, or "
         "the REPRO_CURVE_BACKEND environment variable)",
     )
+    p.add_argument(
+        "--convergence",
+        action="store_true",
+        dest="convergence",
+        help="record per-sweep fixpoint convergence telemetry and attach "
+        "it as a 'convergence' block to the result (telemetry only; "
+        "bounds are unchanged)",
+    )
 
 
 def _options_from_args(args) -> Optional[AnalysisOptions]:
@@ -116,9 +132,16 @@ def _options_from_args(args) -> Optional[AnalysisOptions]:
     max_error = getattr(args, "compact_max_error", None)
     no_warm = getattr(args, "no_warm_start", False)
     backend = getattr(args, "backend", "auto")
+    convergence = getattr(args, "convergence", False)
     if backend == "auto":
         backend = None
-    if budget is None and max_error is None and not no_warm and backend is None:
+    if (
+        budget is None
+        and max_error is None
+        and not no_warm
+        and backend is None
+        and not convergence
+    ):
         return None
     if budget is not None and max_error is not None:
         raise SystemExit(
@@ -130,6 +153,7 @@ def _options_from_args(args) -> Optional[AnalysisOptions]:
         compact_max_error=max_error,
         warm_start=not no_warm,
         backend=backend,
+        convergence=convergence,
     )
 
 
@@ -147,6 +171,45 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
         dest="metrics_out",
         metavar="FILE",
         help="write a Prometheus text metrics dump of this run to FILE",
+    )
+    _add_profile_args(p)
+
+
+def _add_profile_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--profile-out",
+        default=None,
+        dest="profile_out",
+        metavar="FILE",
+        help="cProfile the run and write collapsed (flamegraph-ready) "
+        "stacks to FILE",
+    )
+    p.add_argument(
+        "--profile-mem-out",
+        default=None,
+        dest="profile_mem_out",
+        metavar="FILE",
+        help="sample allocations with tracemalloc and write collapsed "
+        "stacks (weights in bytes) to FILE",
+    )
+
+
+def _add_status_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--status",
+        default=None,
+        dest="status",
+        metavar="FILE",
+        help="publish live campaign status to FILE (atomic JSON; watch it "
+        "with 'python -m repro obs watch FILE')",
+    )
+    p.add_argument(
+        "--status-interval",
+        type=float,
+        default=1.0,
+        dest="status_interval",
+        metavar="S",
+        help="minimum seconds between status-file writes (default: 1.0)",
     )
 
 
@@ -246,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_compact_args(p_bat)
     _add_obs_args(p_bat)
+    _add_status_args(p_bat)
 
     p_ch = sub.add_parser(
         "chaos",
@@ -289,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="FILE",
         help="write the chaos report JSON to FILE",
     )
+    _add_status_args(p_ch)
     p_ch.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
     p_ch.add_argument(
         "--kill-after", type=int, default=None, help=argparse.SUPPRESS
@@ -347,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_compact_args(p_aud)
     _add_obs_args(p_aud)
+    _add_status_args(p_aud)
 
     p_tr = sub.add_parser(
         "trace",
@@ -381,6 +447,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the result JSON with the observability block embedded",
     )
     _add_compact_args(p_tr)
+    _add_profile_args(p_tr)
+
+    p_obs = sub.add_parser(
+        "obs", help="observability utilities (live status watcher, HTML report)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_ow = obs_sub.add_parser(
+        "watch", help="render a live campaign status file in the terminal"
+    )
+    p_ow.add_argument("status_file", help="status file written via --status")
+    p_ow.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period in seconds"
+    )
+    p_ow.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit (exit 1 if the file is unreadable)",
+    )
+
+    p_or = obs_sub.add_parser(
+        "report", help="build a self-contained HTML report from run artifacts"
+    )
+    p_or.add_argument(
+        "--out", required=True, metavar="FILE", help="HTML output path"
+    )
+    p_or.add_argument(
+        "--status", default=None, metavar="FILE", help="campaign status file"
+    )
+    p_or.add_argument(
+        "--trace", default=None, metavar="FILE", help="Chrome trace JSON"
+    )
+    p_or.add_argument(
+        "--metrics", default=None, metavar="FILE", help="Prometheus text dump"
+    )
+    p_or.add_argument(
+        "--result",
+        default=None,
+        metavar="FILE",
+        help="analysis result JSON (for the convergence chart)",
+    )
+    p_or.add_argument(
+        "--profile", default=None, metavar="FILE", help="collapsed-stack profile"
+    )
+    p_or.add_argument("--title", default="repro run report")
 
     p_rep = sub.add_parser("report", help="markdown analysis report")
     p_rep.add_argument("system")
@@ -403,7 +514,12 @@ def _cmd_analyze(args) -> int:
 
     system = load_system(args.system)
     options = _options_from_args(args)
-    with observe(trace_out=args.trace_out, metrics_out=args.metrics_out):
+    with observe(
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+        profile_out=args.profile_out,
+        profile_mem_out=args.profile_mem_out,
+    ):
         result = make_analyzer(args.method, options=options).analyze(system)
     print(result.to_json(indent=2) if args.json else result.summary())
     return 0 if result.schedulable else 1
@@ -420,6 +536,8 @@ def _cmd_trace(args) -> int:
         detail=not args.no_detail,
         force_trace=True,
         force_metrics=True,
+        profile_out=args.profile_out,
+        profile_mem_out=args.profile_mem_out,
     ) as session:
         with memo.curve_cache():
             result = make_analyzer(
@@ -558,8 +676,15 @@ def _cmd_batch(args) -> int:
         retry=RetryPolicy(max_attempts=args.retry) if args.retry else None,
         journal=args.journal,
         resume=args.resume,
+        status=args.status,
+        status_interval=args.status_interval,
     )
-    with observe(trace_out=args.trace_out, metrics_out=args.metrics_out):
+    with observe(
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+        profile_out=args.profile_out,
+        profile_mem_out=args.profile_mem_out,
+    ):
         report = engine.run(items)
     for record in report:
         print(json.dumps(record.to_dict(), allow_nan=False))
@@ -604,20 +729,38 @@ def _cmd_audit(args) -> int:
         artifact_dir=args.artifact_dir,
         options=_options_from_args(args),
     )
-    with observe(trace_out=args.trace_out, metrics_out=args.metrics_out):
-        if args.json:
-            report = run_audit(config)
-        else:
-            def progress(audit) -> None:
-                if audit.outcome.violations:
-                    print(
-                        f"system {audit.index} (seed {audit.seed}, "
-                        f"fault {audit.fault}): "
-                        f"{len(audit.outcome.violations)} violation(s)",
-                        file=sys.stderr,
-                    )
+    status = None
+    if args.status:
+        from .obs import StatusWriter
 
+        status = StatusWriter(
+            args.status, campaign="audit", interval=args.status_interval
+        )
+
+    def progress(audit) -> None:
+        if status is not None:
+            status.item_done("ok" if not audit.outcome.violations else "error")
+        if not args.json and audit.outcome.violations:
+            print(
+                f"system {audit.index} (seed {audit.seed}, "
+                f"fault {audit.fault}): "
+                f"{len(audit.outcome.violations)} violation(s)",
+                file=sys.stderr,
+            )
+
+    with observe(
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+        profile_out=args.profile_out,
+        profile_mem_out=args.profile_mem_out,
+    ):
+        if status is not None:
+            status.begin(total=config.n_systems)
+        try:
             report = run_audit(config, progress=progress)
+        finally:
+            if status is not None:
+                status.finish()
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, allow_nan=False))
     else:
@@ -637,6 +780,26 @@ def _cmd_chaos(args) -> int:
     return code
 
 
+def _cmd_obs(args) -> int:
+    if args.obs_command == "watch":
+        from .obs.watch import watch
+
+        return watch(args.status_file, interval=args.interval, once=args.once)
+    from .obs.report import write_report
+
+    write_report(
+        args.out,
+        status=args.status,
+        trace=args.trace,
+        metrics=args.metrics,
+        result=args.result,
+        profile=args.profile,
+        title=args.title,
+    )
+    print(f"report -> {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_methods(_args) -> int:
     for name in sorted(METHODS):
         print(f"  {name:14s} {METHODS[name].__doc__.strip().splitlines()[0]}")
@@ -654,6 +817,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "audit": _cmd_audit,
         "trace": _cmd_trace,
+        "obs": _cmd_obs,
         "report": _cmd_report,
         "methods": _cmd_methods,
     }

@@ -39,7 +39,15 @@ from .metrics import (
 )
 from .metrics import metrics as metrics_session
 from .metrics import observe as observe_value
+from .profile import Profiler, collapse_profile, collapse_tracemalloc
+from .report import build_report, write_report
 from .session import ObsSession, observe
+from .status import (
+    STATUS_KIND,
+    STATUS_SCHEMA_VERSION,
+    StatusWriter,
+    read_status,
+)
 from .trace import (
     Span,
     TraceCollector,
@@ -57,7 +65,16 @@ from .trace import (
 # Keep the package attributes ``metrics``/``trace``/... bound to the
 # submodules (the from-imports above must not shadow them: callers rely on
 # ``repro.obs.metrics.active_metrics()`` reading live module state).
-from . import export, metrics, session, trace  # noqa: E402, F401
+from . import (  # noqa: E402, F401
+    export,
+    metrics,
+    profile,
+    report,
+    session,
+    status,
+    trace,
+    watch,
+)
 
 __all__ = [
     "Span",
@@ -89,4 +106,13 @@ __all__ = [
     "write_prometheus",
     "ObsSession",
     "observe",
+    "STATUS_SCHEMA_VERSION",
+    "STATUS_KIND",
+    "StatusWriter",
+    "read_status",
+    "Profiler",
+    "collapse_profile",
+    "collapse_tracemalloc",
+    "build_report",
+    "write_report",
 ]

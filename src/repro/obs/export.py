@@ -66,7 +66,9 @@ def chrome_trace_events(
                 "ts": (start - t0) * 1e6,
                 "dur": max(0.0, end - start) * 1e6,
                 "pid": s.get("pid", 0),
-                "tid": s.get("pid", 0),
+                # Real thread id when the span carries one; spans from older
+                # snapshots (no ``tid``) fall back to one row per process.
+                "tid": s.get("tid") or s.get("pid", 0),
                 "args": args,
             }
         )
@@ -131,7 +133,7 @@ def prometheus_lines(
                 le = _fmt_value(bound) if math.isfinite(bound) else "+Inf"
                 labels = f'{bare},le="{le}"' if bare else f'le="{le}"'
                 lines.append(f"{name}_bucket{{{labels}}} {cumulative}")
-            lines.append(f"{name}_sum{key} {repr(float(hist.sum))}")
+            lines.append(f"{name}_sum{key} {_fmt_value(hist.sum)}")
             lines.append(f"{name}_count{key} {hist.count}")
     return lines
 

@@ -43,11 +43,27 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 )
 
 
+def _escape_label_value(value: Any) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _label_key(labels: Dict[str, Any]) -> str:
-    """Canonical ``{k="v",...}`` suffix (empty string when unlabeled)."""
+    """Canonical ``{k="v",...}`` suffix (empty string when unlabeled).
+
+    Label values are escaped at storage time so lookups, merges and the
+    Prometheus exporter all agree on one canonical key.
+    """
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    inner = ",".join(
+        f'{k}="{_escape_label_value(labels[k])}"' for k in sorted(labels)
+    )
     return "{" + inner + "}"
 
 

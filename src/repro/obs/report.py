@@ -1,0 +1,476 @@
+"""Offline HTML run reports: one self-contained, zero-dependency file.
+
+``python -m repro obs report`` combines whatever artifacts a run left
+behind -- a live status file (:mod:`repro.obs.status`), a Chrome trace, a
+Prometheus metrics dump, a schema-v1 analysis result with a
+``convergence`` block, a collapsed-stack profile -- into a single HTML
+document with inline CSS, inline SVG charts and an inline JSON copy of
+the source data (``<script type="application/json">``) for machine
+re-use.  No JavaScript frameworks, no network fetches: the file opens
+from disk, forever.
+
+Charts follow one discipline: status colors only for campaign health
+(paired with text labels, never color alone), a single hue for magnitude
+bars, a single-series line for the convergence curve, data tables next
+to every chart, and automatic dark mode via CSS custom properties.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..ioutil import write_text_atomic
+from .status import read_status
+
+__all__ = ["build_report", "write_report"]
+
+#: Campaign-health colors by outcome; statuses are states, so they wear
+#: the reserved status palette and always ship with a text label.
+_STATUS_COLORS = {
+    "ok": "var(--status-good)",
+    "error": "var(--status-critical)",
+    "timeout": "var(--status-serious)",
+    "crash": "var(--status-critical)",
+    "quarantined": "var(--status-warning)",
+}
+_STATUS_FALLBACK = "var(--status-serious)"
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --ink: #0b0b0b;
+  --ink-2: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+  --status-good: #0ca30c;
+  --status-warning: #fab219;
+  --status-serious: #ec835a;
+  --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --ink: #ffffff;
+    --ink-2: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+  }
+}
+body {
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--ink);
+  margin: 0; padding: 2rem; line-height: 1.45;
+}
+main { max-width: 64rem; margin: 0 auto; }
+h1 { font-size: 1.4rem; margin: 0 0 0.25rem; }
+h2 { font-size: 1.05rem; margin: 0 0 0.75rem; }
+.sub { color: var(--ink-2); margin: 0 0 1.5rem; font-size: 0.9rem; }
+section {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 1.25rem 1.5rem; margin-bottom: 1.25rem;
+}
+table { border-collapse: collapse; font-size: 0.85rem; width: 100%; }
+th { text-align: left; color: var(--ink-2); font-weight: 600; }
+th, td { padding: 0.25rem 0.9rem 0.25rem 0; border-bottom: 1px solid var(--grid); }
+td.num { font-variant-numeric: tabular-nums; text-align: right; }
+th.num { text-align: right; }
+.tiles { display: flex; flex-wrap: wrap; gap: 1.5rem; margin: 0.25rem 0 0.75rem; }
+.tile .v { font-size: 1.6rem; font-weight: 650; }
+.tile .k { color: var(--ink-2); font-size: 0.8rem; }
+svg text { font-family: inherit; }
+.note { color: var(--muted); font-size: 0.8rem; }
+code { font-size: 0.85em; }
+"""
+
+
+# ----------------------------------------------------------------------
+# tolerant artifact loaders
+# ----------------------------------------------------------------------
+
+
+def _load_json(path: Optional[str]) -> Optional[Any]:
+    if path is None:
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def _load_text(path: Optional[str]) -> Optional[str]:
+    if path is None:
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return fh.read()
+    except OSError:
+        return None
+
+
+def parse_prometheus(text: str) -> List[Tuple[str, str, float]]:
+    """``(name, label-suffix, value)`` samples from exposition text."""
+    samples: List[Tuple[str, str, float]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, raw = line.rpartition(" ")
+        try:
+            value = float(raw)
+        except ValueError:
+            continue
+        if "{" in series:
+            name, _, rest = series.partition("{")
+            labels = "{" + rest
+        else:
+            name, labels = series, ""
+        samples.append((name, labels, value))
+    return samples
+
+
+def parse_collapsed(text: str) -> List[Tuple[str, int]]:
+    """``(stack, weight)`` pairs from collapsed-stack text, heaviest first."""
+    pairs: List[Tuple[str, int]] = []
+    for line in text.splitlines():
+        stack, _, raw = line.rpartition(" ")
+        if not stack:
+            continue
+        try:
+            pairs.append((stack, int(raw)))
+        except ValueError:
+            continue
+    pairs.sort(key=lambda p: -p[1])
+    return pairs
+
+
+def _convergence_points(result: Dict[str, Any]) -> List[Tuple[int, float]]:
+    """Global sweep index -> finite residual, across all rounds."""
+    block = result.get("convergence") or {}
+    rounds = block.get("rounds")
+    if rounds is None:
+        rounds = [block] if block else []
+    points: List[Tuple[int, float]] = []
+    index = 0
+    for rnd in rounds:
+        for sweep in rnd.get("sweeps") or []:
+            index += 1
+            residual = sweep.get("residual")
+            if isinstance(residual, (int, float)) and residual > 0:
+                points.append((index, float(residual)))
+    return points
+
+
+# ----------------------------------------------------------------------
+# inline-SVG charts
+# ----------------------------------------------------------------------
+
+
+def _svg_hbars(
+    items: Sequence[Tuple[str, float, Optional[str]]],
+    fmt: str = "{:g}",
+    width: int = 640,
+) -> str:
+    """Horizontal bar chart; ``items`` are (label, value, css-color)."""
+    if not items:
+        return ""
+    row_h, gap, label_w, pad = 22, 2, 220, 8
+    chart_w = width - label_w - 90
+    height = len(items) * (row_h + gap) + pad
+    top = max(value for _label, value, _c in items) or 1.0
+    parts = [
+        f'<svg role="img" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+    ]
+    y = pad // 2
+    for label, value, color in items:
+        w = max(1.0, chart_w * value / top)
+        fill = color or "var(--series-1)"
+        text = html.escape(fmt.format(value))
+        parts.append(
+            f'<g><title>{html.escape(label)}: {text}</title>'
+            f'<text x="{label_w - 8}" y="{y + row_h - 7}" text-anchor="end" '
+            f'font-size="12" fill="var(--ink-2)">{html.escape(label[:36])}</text>'
+            f'<rect x="{label_w}" y="{y}" width="{w:.1f}" height="{row_h - 4}" '
+            f'rx="4" fill="{fill}" stroke="var(--surface-1)" stroke-width="2"/>'
+            f'<text x="{label_w + w + 6:.1f}" y="{y + row_h - 7}" '
+            f'font-size="12" fill="var(--ink)">{text}</text></g>'
+        )
+        y += row_h + gap
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _svg_residual_line(
+    points: Sequence[Tuple[int, float]], width: int = 640, height: int = 240
+) -> str:
+    """Single-series log-y line of max residual per sweep."""
+    if len(points) < 2:
+        return ""
+    pad_l, pad_r, pad_t, pad_b = 64, 16, 12, 28
+    xs = [p[0] for p in points]
+    ys = [math.log10(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+
+    def px(x: float) -> float:
+        return pad_l + plot_w * (x - x_lo) / max(1, x_hi - x_lo)
+
+    def py(y: float) -> float:
+        return pad_t + plot_h * (1 - (y - y_lo) / (y_hi - y_lo))
+
+    parts = [
+        f'<svg role="img" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+    ]
+    # decade gridlines + tick labels
+    for decade in range(math.floor(y_lo), math.ceil(y_hi) + 1):
+        if not (y_lo <= decade <= y_hi):
+            continue
+        gy = py(decade)
+        parts.append(
+            f'<line x1="{pad_l}" y1="{gy:.1f}" x2="{width - pad_r}" '
+            f'y2="{gy:.1f}" stroke="var(--grid)" stroke-width="1"/>'
+            f'<text x="{pad_l - 8}" y="{gy + 4:.1f}" text-anchor="end" '
+            f'font-size="11" fill="var(--muted)">1e{decade}</text>'
+        )
+    parts.append(
+        f'<line x1="{pad_l}" y1="{height - pad_b}" x2="{width - pad_r}" '
+        f'y2="{height - pad_b}" stroke="var(--axis)" stroke-width="1"/>'
+        f'<text x="{(pad_l + width - pad_r) // 2}" y="{height - 8}" '
+        f'text-anchor="middle" font-size="11" fill="var(--muted)">sweep</text>'
+    )
+    path = " ".join(
+        f"{'M' if i == 0 else 'L'}{px(x):.1f},{py(math.log10(v)):.1f}"
+        for i, (x, v) in enumerate(points)
+    )
+    parts.append(
+        f'<path d="{path}" fill="none" stroke="var(--series-1)" '
+        f'stroke-width="2" stroke-linejoin="round"/>'
+    )
+    for x, v in points:
+        parts.append(
+            f'<circle cx="{px(x):.1f}" cy="{py(math.log10(v)):.1f}" r="4" '
+            f'fill="var(--series-1)" stroke="var(--surface-1)" stroke-width="2">'
+            f"<title>sweep {x}: residual {v:.3g}</title></circle>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# ----------------------------------------------------------------------
+# sections
+# ----------------------------------------------------------------------
+
+
+def _tile(value: str, key: str) -> str:
+    return (
+        f'<div class="tile"><div class="v">{html.escape(value)}</div>'
+        f'<div class="k">{html.escape(key)}</div></div>'
+    )
+
+
+def _section_status(status: Dict[str, Any]) -> str:
+    rate = status.get("throughput")
+    tiles = [
+        _tile(str(status.get("done", 0)), f"of {status.get('total', 0)} done"),
+        _tile(str(status.get("ok", 0)), "ok"),
+        _tile(str(status.get("failed", 0)), "failed"),
+        _tile(f"{rate:.1f}/s" if rate else "–", "throughput"),
+        _tile(str(status.get("state", "?")), "state"),
+    ]
+    by_status = status.get("by_status") or {}
+    bars = [
+        (name, float(count), _STATUS_COLORS.get(name, _STATUS_FALLBACK))
+        for name, count in sorted(by_status.items(), key=lambda kv: -kv[1])
+    ]
+    rows = "".join(
+        f"<tr><td>{html.escape(k)}</td><td class='num'>{v}</td></tr>"
+        for k, v in sorted(by_status.items())
+    )
+    extras = " · ".join(
+        f"{key} {status.get(key, 0)}" for key in ("retried", "quarantined", "resumed")
+    )
+    return (
+        "<section><h2>Campaign health</h2>"
+        f'<div class="tiles">{"".join(tiles)}</div>'
+        + _svg_hbars(bars, fmt="{:.0f}")
+        + f"<table><tr><th>status</th><th class='num'>items</th></tr>{rows}</table>"
+        + f'<p class="note">{html.escape(extras)}</p></section>'
+    )
+
+
+def _section_convergence(result: Dict[str, Any]) -> str:
+    points = _convergence_points(result)
+    block = result.get("convergence") or {}
+    rounds = block.get("rounds") or []
+    rows = "".join(
+        f"<tr><td class='num'>{r.get('round', i + 1)}</td>"
+        f"<td class='num'>{r.get('horizon', '')}</td>"
+        f"<td class='num'>{r.get('n_sweeps', '')}</td>"
+        f"<td>{'yes' if r.get('stable') else 'no'}</td>"
+        f"<td>{'yes' if r.get('drained') else 'no'}</td></tr>"
+        for i, r in enumerate(rounds)
+    )
+    chart = _svg_residual_line(points)
+    if not chart:
+        chart = '<p class="note">fewer than two finite residuals recorded</p>'
+    return (
+        "<section><h2>Fixpoint convergence</h2>"
+        + chart
+        + "<table><tr><th class='num'>round</th><th class='num'>horizon</th>"
+        "<th class='num'>sweeps</th><th>stable</th><th>drained</th></tr>"
+        + rows
+        + "</table></section>"
+    )
+
+
+def _section_spans(trace: List[Dict[str, Any]]) -> str:
+    finished = [e for e in trace if isinstance(e.get("dur"), (int, float))]
+    slowest = sorted(finished, key=lambda e: -e["dur"])[:12]
+    bars = [
+        (str(e.get("name", "?")), e["dur"] / 1e3, None) for e in slowest
+    ]
+    counts: Dict[str, int] = {}
+    for e in finished:
+        counts[str(e.get("name", "?"))] = counts.get(str(e.get("name", "?")), 0) + 1
+    rows = "".join(
+        f"<tr><td>{html.escape(name)}</td><td class='num'>{n}</td></tr>"
+        for name, n in sorted(counts.items(), key=lambda kv: -kv[1])[:20]
+    )
+    return (
+        "<section><h2>Slowest spans (ms)</h2>"
+        + _svg_hbars(bars, fmt="{:.2f}")
+        + "<table><tr><th>span</th><th class='num'>count</th></tr>"
+        + rows
+        + "</table></section>"
+    )
+
+
+def _section_metrics(samples: List[Tuple[str, str, float]]) -> str:
+    rows = "".join(
+        f"<tr><td><code>{html.escape(name + labels)}</code></td>"
+        f"<td class='num'>{value:g}</td></tr>"
+        for name, labels, value in samples
+        if not name.endswith("_bucket")  # buckets swamp the table
+    )
+    return (
+        "<section><h2>Metrics</h2>"
+        "<table><tr><th>series</th><th class='num'>value</th></tr>"
+        + rows
+        + '<tr><td class="note" colspan="2">histogram buckets elided; '
+        "full series in the embedded JSON</td></tr></table></section>"
+    )
+
+
+def _section_profile(pairs: List[Tuple[str, int]]) -> str:
+    top = pairs[:12]
+    bars = [(stack.rsplit(";", 1)[-1], float(w), None) for stack, w in top]
+    rows = "".join(
+        f"<tr><td><code>{html.escape(stack[-120:])}</code></td>"
+        f"<td class='num'>{w}</td></tr>"
+        for stack, w in top
+    )
+    return (
+        "<section><h2>Hottest profile stacks</h2>"
+        + _svg_hbars(bars, fmt="{:.0f}")
+        + "<table><tr><th>collapsed stack (tail)</th>"
+        "<th class='num'>weight</th></tr>"
+        + rows
+        + '<p class="note">full collapsed-stack file renders in any '
+        "flamegraph tool (flamegraph.pl, speedscope)</p></table></section>"
+    )
+
+
+# ----------------------------------------------------------------------
+
+
+def build_report(
+    status: Optional[str] = None,
+    trace: Optional[str] = None,
+    metrics: Optional[str] = None,
+    result: Optional[str] = None,
+    profile: Optional[str] = None,
+    title: str = "repro run report",
+) -> str:
+    """Assemble the HTML document from whichever artifacts exist."""
+    status_doc = read_status(status) if status else None
+    trace_doc = _load_json(trace)
+    result_doc = _load_json(result)
+    metrics_text = _load_text(metrics)
+    profile_text = _load_text(profile)
+
+    sections: List[str] = []
+    if status_doc:
+        sections.append(_section_status(status_doc))
+    if result_doc and isinstance(result_doc, dict):
+        if result_doc.get("convergence"):
+            sections.append(_section_convergence(result_doc))
+    if isinstance(trace_doc, list) and trace_doc:
+        sections.append(_section_spans(trace_doc))
+    if metrics_text:
+        sections.append(_section_metrics(parse_prometheus(metrics_text)))
+    if profile_text:
+        pairs = parse_collapsed(profile_text)
+        if pairs:
+            sections.append(_section_profile(pairs))
+    if not sections:
+        sections.append(
+            "<section><p>No readable artifacts were provided.</p></section>"
+        )
+
+    # Machine-readable copy of the inputs, trimmed so the report stays
+    # small: the result drops any embedded observability block (it can
+    # carry a full trace) and only the heaviest profile stacks ride along.
+    result_trim = (
+        {k: v for k, v in result_doc.items() if k != "observability"}
+        if isinstance(result_doc, dict)
+        else result_doc
+    )
+    profile_top = parse_collapsed(profile_text)[:200] if profile_text else None
+    embedded = json.dumps(
+        {
+            "status": status_doc,
+            "result": result_trim,
+            "metrics": metrics_text,
+            "profile_top": profile_top,
+        },
+        allow_nan=False,
+        default=str,
+    ).replace("</", "<\\/")  # keep </script> out of the inline block
+
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{html.escape(title)}</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        "<body><main>\n"
+        f"<h1>{html.escape(title)}</h1>\n"
+        '<p class="sub">self-contained report generated by '
+        "<code>python -m repro obs report</code></p>\n"
+        + "\n".join(sections)
+        + '\n<script type="application/json" id="report-data">'
+        + embedded
+        + "</script>\n</main></body></html>\n"
+    )
+
+
+def write_report(path: str, **kwargs: Any) -> None:
+    write_text_atomic(path, build_report(**kwargs))

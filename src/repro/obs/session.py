@@ -15,6 +15,10 @@ Either output may be omitted; tracing activates whenever a trace sink (or
 ``force_trace``) is requested, metrics whenever a metrics sink (or
 ``force_metrics``) is.  The previous process-local state is restored on
 exit, so sessions nest safely around code that manages its own obs state.
+
+``profile_out`` / ``profile_mem_out`` additionally run the block under
+:class:`repro.obs.profile.Profiler` and drop collapsed-stack
+(flamegraph-ready) text artifacts on exit.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from typing import Any, Dict, Iterator, List, Optional
 from . import metrics as _metrics
 from . import trace as _trace
 from .export import chrome_trace_events, write_chrome_trace, write_prometheus
+from .profile import Profiler
 
 __all__ = ["ObsSession", "observe"]
 
@@ -36,9 +41,11 @@ class ObsSession:
         self,
         collector: Optional[_trace.TraceCollector],
         registry: Optional[_metrics.MetricsRegistry],
+        profiler: Optional[Profiler] = None,
     ) -> None:
         self.collector = collector
         self.registry = registry
+        self.profiler = profiler
 
     @property
     def enabled(self) -> bool:
@@ -68,20 +75,30 @@ def observe(
     detail: bool = False,
     force_trace: bool = False,
     force_metrics: bool = False,
+    profile_out: Optional[str] = None,
+    profile_mem_out: Optional[str] = None,
 ) -> Iterator[ObsSession]:
     """Enable tracing/metrics for a block and write artifacts on exit."""
     want_trace = force_trace or trace_out is not None
     want_metrics = force_metrics or metrics_out is not None
+    want_profile = profile_out is not None or profile_mem_out is not None
     prev_collector = _trace.active_collector()
     prev_detail = _trace.detail_enabled()
     prev_registry = _metrics.active_metrics()
 
     collector = _trace.enable_tracing(detail=detail) if want_trace else None
     registry = _metrics.enable_metrics() if want_metrics else None
-    session = ObsSession(collector, registry)
+    profiler = (
+        Profiler(mem=profile_mem_out is not None) if want_profile else None
+    )
+    session = ObsSession(collector, registry, profiler)
+    if profiler is not None:
+        profiler.start()
     try:
         yield session
     finally:
+        if profiler is not None:
+            profiler.stop()
         if want_trace:
             if prev_collector is not None:
                 _trace.enable_tracing(detail=prev_detail, collector=prev_collector)
@@ -96,3 +113,7 @@ def observe(
             write_chrome_trace(trace_out, collector)
         if registry is not None and metrics_out is not None:
             write_prometheus(metrics_out, registry)
+        if profiler is not None and profile_out is not None:
+            profiler.write(profile_out)
+        if profiler is not None and profile_mem_out is not None:
+            profiler.write_memory(profile_mem_out)

@@ -32,6 +32,7 @@ from __future__ import annotations
 import functools
 import math
 import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -67,6 +68,7 @@ class Span:
     end: float = float("nan")
     attrs: Dict[str, Any] = field(default_factory=dict)
     pid: int = 0
+    tid: int = 0
 
     @property
     def duration(self) -> float:
@@ -81,6 +83,7 @@ class Span:
             "end": self.end,
             "attrs": {k: _json_safe(v) for k, v in self.attrs.items()},
             "pid": self.pid,
+            "tid": self.tid,
         }
 
 
@@ -133,6 +136,7 @@ class TraceCollector:
             start=self.now(),
             attrs=dict(attrs) if attrs else {},
             pid=self._pid,
+            tid=threading.get_ident(),
         )
         self._next_id += 1
         self._stack.append(span)
@@ -166,6 +170,7 @@ class TraceCollector:
                 end=start + duration,
                 attrs=dict(attrs) if attrs else {},
                 pid=self._pid,
+                tid=threading.get_ident(),
             )
         )
 
@@ -219,6 +224,7 @@ class TraceCollector:
                     end=float(d["end"]),
                     attrs=dict(d.get("attrs") or {}),
                     pid=int(d.get("pid", 0)),
+                    tid=int(d.get("tid", 0)),
                 )
             )
 

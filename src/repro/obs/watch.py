@@ -1,0 +1,127 @@
+"""Terminal watcher for live campaign status files.
+
+``python -m repro obs watch status.json`` polls the file written by
+:class:`repro.obs.status.StatusWriter` and redraws a compact progress
+view until the campaign reports a terminal state.  ``--once`` renders a
+single frame and exits (for scripts and CI).  Reads are tolerant: a
+missing or torn file renders as "waiting", never a crash.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+from .status import _LIVENESS_WINDOW, read_status
+
+__all__ = ["render_status", "watch"]
+
+_BAR_WIDTH = 30
+_TERMINAL_STATES = ("done", "failed", "aborted")
+
+
+def _fmt_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "?"
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{int(seconds // 60)}m{int(seconds % 60):02d}s"
+    return f"{int(seconds // 3600)}h{int(seconds % 3600 // 60):02d}m"
+
+
+def _bar(done: int, total: int) -> str:
+    if total <= 0:
+        return "-" * _BAR_WIDTH
+    filled = int(_BAR_WIDTH * min(1.0, done / total))
+    return "#" * filled + "." * (_BAR_WIDTH - filled)
+
+
+def render_status(doc: Dict[str, Any]) -> str:
+    """One status document as a small multi-line text frame."""
+    total = int(doc.get("total") or 0)
+    done = int(doc.get("done") or 0)
+    pct = f"{100.0 * done / total:.0f}%" if total else "?"
+    lines = [
+        f"repro {doc.get('campaign', '?')} — {doc.get('state', '?')}",
+        f"[{_bar(done, total)}] {done}/{total} ({pct})",
+    ]
+    counts = " · ".join(
+        f"{key} {doc.get(key, 0)}"
+        for key in ("ok", "failed", "retried", "quarantined", "resumed")
+    )
+    lines.append(counts)
+    rate = doc.get("throughput")
+    lines.append(
+        "throughput "
+        + (f"{rate:.1f} items/s" if rate else "?")
+        + f" · eta {_fmt_duration(doc.get('eta_seconds'))}"
+        + f" · elapsed {_fmt_duration(doc.get('elapsed_seconds'))}"
+    )
+    workers = doc.get("workers") or {}
+    alive = [pid for pid, age in workers.items() if age <= _LIVENESS_WINDOW]
+    if workers:
+        lines.append(
+            f"workers {len(alive)}/{len(workers)} alive"
+            + (f" (pids {', '.join(sorted(alive))})" if alive else "")
+        )
+    journal = doc.get("journal")
+    if journal:
+        lines.append(
+            f"journal {journal.get('path', '?')} · "
+            f"{journal.get('appended', 0)} appended"
+        )
+    by_status = doc.get("by_status") or {}
+    extras = {k: v for k, v in by_status.items() if k != "ok"}
+    if extras:
+        lines.append(
+            "statuses " + " · ".join(f"{k}={v}" for k, v in extras.items())
+        )
+    return "\n".join(lines)
+
+
+def watch(
+    path: str,
+    interval: float = 2.0,
+    once: bool = False,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """Render ``path`` until the campaign finishes; exit code for the CLI.
+
+    ``--once`` semantics: render a single frame; exit 0 when the file
+    parsed, 1 when it is missing/unreadable (so CI can assert on it).
+    """
+    stream = stream if stream is not None else sys.stdout
+    clear = not once and stream.isatty()
+    try:
+        while True:
+            doc = read_status(path)
+            if once:
+                if doc is None:
+                    print(f"no readable status at {path}", file=stream)
+                    return 1
+                print(render_status(doc), file=stream)
+                return 0
+            if clear:
+                stream.write("\x1b[2J\x1b[H")
+            if doc is None:
+                print(f"waiting for status file {path} ...", file=stream)
+            else:
+                print(render_status(doc), file=stream)
+                if doc.get("state") in _TERMINAL_STATES:
+                    return 0
+            stream.flush()
+            try:
+                time.sleep(interval)
+            except KeyboardInterrupt:
+                return 0
+    except BrokenPipeError:
+        # ``watch ... | head`` closes our stdout mid-frame; that is the
+        # reader saying "enough", not an error.
+        try:
+            stream.close()
+        except OSError:
+            pass
+        return 0

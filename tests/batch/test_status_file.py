@@ -1,0 +1,133 @@
+"""Tests for live status files published by the batch engine."""
+
+import multiprocessing
+
+import pytest
+
+from repro.batch import BatchEngine, BatchItem
+from repro.model import (
+    Job,
+    JobSet,
+    PeriodicArrivals,
+    System,
+    assign_priorities_proportional_deadline,
+)
+from repro.obs.status import read_status
+
+IS_FORK = multiprocessing.get_start_method() == "fork"
+
+
+def small_system(period=5.0, wcet=1.0, deadline=10.0):
+    jobs = [
+        Job.build("a", [("cpu", wcet)], PeriodicArrivals(period), deadline),
+        Job.build(
+            "b", [("cpu", 2 * wcet)], PeriodicArrivals(1.2 * period), deadline
+        ),
+    ]
+    sys_ = System(JobSet(jobs), "spp")
+    assign_priorities_proportional_deadline(sys_)
+    return sys_
+
+
+def doomed_system():
+    job = Job.build("x", [("cpu", 3.0)], PeriodicArrivals(5.0), 1.0)
+    sys_ = System(JobSet([job]), "spp")
+    assign_priorities_proportional_deadline(sys_)
+    return sys_
+
+
+def items(n=4):
+    return [
+        BatchItem(system=small_system(3.0 + i), item_id=f"s{i}")
+        for i in range(n)
+    ]
+
+
+class TestSerialStatus:
+    def test_final_document_counts_everything(self, tmp_path):
+        path = tmp_path / "status.json"
+        report = BatchEngine(
+            n_workers=1, status=str(path), status_interval=0.0
+        ).run(items(3) + [BatchItem(system=doomed_system(), item_id="bad")])
+        assert report.n_ok == 4  # doomed analyzes fine (unschedulable != fail)
+        doc = read_status(str(path))
+        assert doc is not None
+        assert doc["campaign"] == "batch"
+        assert doc["state"] == "done"
+        assert doc["total"] == 4 and doc["done"] == 4
+        assert doc["by_status"] == {"ok": 4}
+        assert doc["n_workers"] == 1
+        assert doc["resumed"] == 0
+
+    def test_no_status_file_without_flag(self, tmp_path):
+        BatchEngine(n_workers=1).run(items(1))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_negative_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            BatchEngine(status=str(tmp_path / "s.json"), status_interval=-1)
+
+    def test_status_written_even_when_items_fail(self, tmp_path):
+        path = tmp_path / "status.json"
+        report = BatchEngine(
+            n_workers=1,
+            timeout=1e-9,
+            status=str(path),
+            status_interval=0.0,
+        ).run(items(2))
+        doc = read_status(str(path))
+        assert doc["done"] == 2
+        assert doc["failed"] == report.n_failed
+        assert set(doc["by_status"]) <= {"ok", "timeout"}
+
+
+@pytest.mark.skipif(not IS_FORK, reason="pool tests assume fork start method")
+class TestPoolStatus:
+    def test_pool_campaign_tracks_workers(self, tmp_path):
+        path = tmp_path / "status.json"
+        report = BatchEngine(
+            n_workers=2, chunksize=1, status=str(path), status_interval=0.0
+        ).run(items(4))
+        assert report.n_ok == 4
+        doc = read_status(str(path))
+        assert doc["state"] == "done"
+        assert doc["done"] == 4 and doc["by_status"] == {"ok": 4}
+        assert doc["n_workers"] == 2
+        # liveness signals crossed the pool boundary
+        assert len(doc["workers"]) >= 1
+        assert all(age >= 0 for age in doc["workers"].values())
+
+
+class TestResumedStatus:
+    def test_resumed_campaign_matches_uninterrupted_counts(self, tmp_path):
+        work = items(4)
+        baseline_path = tmp_path / "baseline.json"
+        BatchEngine(
+            n_workers=1, status=str(baseline_path), status_interval=0.0
+        ).run(work)
+        baseline = read_status(str(baseline_path))
+
+        # journal the full campaign, then drop the last two records to
+        # simulate an interrupted run...
+        wal = str(tmp_path / "wal.jsonl")
+        BatchEngine(n_workers=1, journal=wal).run(work)
+        lines = open(wal).read().splitlines(keepends=True)
+        with open(wal, "w") as fh:
+            fh.writelines(lines[:-2])
+        # ...the resumed leg replays the survivors and reruns the rest
+        resumed_path = tmp_path / "resumed.json"
+        report = BatchEngine(
+            n_workers=1,
+            journal=wal,
+            resume=True,
+            status=str(resumed_path),
+            status_interval=0.0,
+        ).run(work)
+        assert report.n_ok == 4
+        doc = read_status(str(resumed_path))
+        assert doc["resumed"] == 2
+        assert doc["done"] == baseline["done"] == 4
+        assert doc["by_status"] == baseline["by_status"]
+        assert doc["journal"]["path"] == wal
+        # only the fresh items hit the journal on the resumed leg
+        assert doc["journal"]["appended"] == 2

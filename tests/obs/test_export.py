@@ -58,7 +58,7 @@ class TestChromeTrace:
             assert event["ph"] == "X"
             assert event["cat"] == "repro"
             assert event["ts"] >= 0.0 and event["dur"] >= 0.0
-            assert event["pid"] == event["tid"]
+            assert event["tid"] > 0
         outer = next(e for e in events if e["name"] == "outer")
         inner = next(e for e in events if e["name"] == "inner")
         assert outer["args"]["method"] == "X"
@@ -97,6 +97,21 @@ class TestChromeTrace:
         collector = make_collector()
         events = chrome_trace_events(collector.spans)
         assert len(events) == 2
+
+    def test_tid_is_real_thread_id(self):
+        import threading
+
+        events = chrome_trace_events(make_collector())
+        assert all(e["tid"] == threading.get_ident() for e in events)
+
+    def test_tid_falls_back_to_pid_for_old_snapshots(self):
+        # Span dicts from pre-tid snapshots (or with tid 0) group by pid.
+        spans = [{"id": 1, "parent": None, "name": "legacy", "start": 0.0,
+                  "end": 1.0, "attrs": {}, "pid": 42},
+                 {"id": 2, "parent": None, "name": "zero", "start": 0.0,
+                  "end": 1.0, "attrs": {}, "pid": 42, "tid": 0}]
+        events = chrome_trace_events(spans)
+        assert [e["tid"] for e in events] == [42, 42]
 
 
 class TestPrometheus:
@@ -147,6 +162,31 @@ class TestPrometheus:
                         base = name[: -len(suffix)]
                         break
                 assert base in seen_types, line
+
+    def test_label_values_escaped_per_exposition_format(self):
+        # Backslash, double-quote and newline must be escaped exactly as
+        # the Prometheus text exposition format specifies.
+        reg = MetricsRegistry()
+        reg.inc("repro_weird_total", 1.0, path='C:\\tmp\\"x"\nnext')
+        (line,) = [
+            li for li in prometheus_lines(reg) if not li.startswith("# TYPE")
+        ]
+        assert line == (
+            'repro_weird_total{path="C:\\\\tmp\\\\\\"x\\"\\nnext"} 1'
+        )
+        assert "\n" not in line  # the raw newline never leaks into output
+
+    def test_sum_line_uses_value_formatter(self):
+        # _sum goes through _fmt_value like every other sample: integral
+        # sums render as integers, non-finite sums as +Inf.
+        reg = MetricsRegistry()
+        reg.observe("repro_int_seconds", 2.0)
+        reg.observe("repro_int_seconds", 3.0)
+        lines = prometheus_lines(reg)
+        assert "repro_int_seconds_sum 5" in lines
+        reg2 = MetricsRegistry()
+        reg2.observe("repro_inf_seconds", float("inf"))
+        assert "repro_inf_seconds_sum +Inf" in prometheus_lines(reg2)
 
     def test_accepts_snapshot_dict(self):
         snap = make_registry().snapshot()

@@ -1,0 +1,188 @@
+"""Tests for the offline HTML report builder (repro.obs.report)."""
+
+import json
+import re
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.obs.report import (
+    build_report,
+    parse_collapsed,
+    parse_prometheus,
+    write_report,
+)
+from repro.obs.status import StatusWriter
+
+HTML_VOID = {"meta", "br", "hr", "img", "input", "link"}
+
+
+class _NestingChecker(HTMLParser):
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+        self.errors = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in HTML_VOID:
+            self.stack.append(tag)
+
+    def handle_startendtag(self, tag, attrs):
+        pass  # self-closing SVG elements
+
+    def handle_endtag(self, tag):
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append((tag, list(self.stack[-3:])))
+        else:
+            self.stack.pop()
+
+
+def assert_well_formed(doc):
+    checker = _NestingChecker()
+    checker.feed(doc)
+    assert not checker.errors, checker.errors
+    assert not checker.stack, checker.stack
+
+
+def embedded_json(doc):
+    match = re.search(
+        r'<script type="application/json" id="report-data">(.*)</script>',
+        doc,
+        re.S,
+    )
+    assert match
+    return json.loads(match.group(1).replace("<\\/", "</"))
+
+
+@pytest.fixture()
+def artifacts(tmp_path):
+    status = tmp_path / "status.json"
+    w = StatusWriter(str(status), interval=0.0)
+    w.begin(total=4, n_workers=2)
+    for s in ("ok", "ok", "error", "quarantined"):
+        w.item_done(s)
+    w.finish()
+
+    trace = tmp_path / "trace.json"
+    trace.write_text(json.dumps([
+        {"name": "analyze", "ph": "X", "ts": 0, "dur": 5000,
+         "pid": 1, "tid": 1, "args": {}},
+        {"name": "fixpoint.sweep", "ph": "X", "ts": 100, "dur": 900,
+         "pid": 1, "tid": 1, "args": {}},
+    ]))
+
+    metrics = tmp_path / "metrics.prom"
+    metrics.write_text(
+        "# TYPE repro_items_total counter\n"
+        'repro_items_total{status="ok"} 3\n'
+        "# TYPE repro_op_seconds histogram\n"
+        'repro_op_seconds_bucket{le="+Inf"} 2\n'
+        "repro_op_seconds_sum 1.5\n"
+        "repro_op_seconds_count 2\n"
+    )
+
+    result = tmp_path / "result.json"
+    result.write_text(json.dumps({
+        "schema": 1,
+        "schedulable": True,
+        "observability": {"trace": [{"huge": "x" * 10_000}]},
+        "convergence": {
+            "n_rounds": 2,
+            "total_sweeps": 5,
+            "rounds": [
+                {"round": 1, "horizon": 40.0, "n_sweeps": 3, "stable": True,
+                 "drained": False,
+                 "sweeps": [{"sweep": 1, "residual": None},
+                            {"sweep": 2, "residual": 2.5},
+                            {"sweep": 3, "residual": 0.01}]},
+                {"round": 2, "horizon": 80.0, "n_sweeps": 2, "stable": True,
+                 "drained": True,
+                 "sweeps": [{"sweep": 1, "residual": 1.0},
+                            {"sweep": 2, "residual": 1e-9}]},
+            ],
+        },
+    }))
+
+    profile = tmp_path / "prof.txt"
+    profile.write_text("main;hot 900\nmain;cold 100\n")
+    return {
+        "status": str(status), "trace": str(trace),
+        "metrics": str(metrics), "result": str(result),
+        "profile": str(profile),
+    }
+
+
+class TestBuildReport:
+    def test_full_report_well_formed_and_complete(self, artifacts):
+        doc = build_report(title="t <&> est", **artifacts)
+        assert_well_formed(doc)
+        assert "t &lt;&amp;&gt; est" in doc
+        for heading in ("Campaign health", "Fixpoint convergence",
+                        "Slowest spans", "Metrics", "Hottest profile"):
+            assert heading in doc
+        assert doc.count("<svg") >= 3
+        assert "NaN" not in doc and "Infinity" not in doc
+
+    def test_embedded_json_trims_heavy_blocks(self, artifacts):
+        data = embedded_json(build_report(**artifacts))
+        assert data["status"]["done"] == 4
+        assert "observability" not in data["result"]  # full trace dropped
+        assert data["result"]["convergence"]["n_rounds"] == 2
+        assert data["profile_top"][0] == ["main;hot", 900]
+
+    def test_convergence_chart_plots_finite_residuals(self, artifacts):
+        doc = build_report(result=artifacts["result"])
+        # 4 finite positive residuals -> 4 points on the line
+        assert doc.count("<circle") == 4
+        assert "sweep" in doc
+
+    def test_no_artifacts_still_renders(self):
+        doc = build_report()
+        assert_well_formed(doc)
+        assert "No readable artifacts" in doc
+
+    def test_missing_and_corrupt_inputs_are_skipped(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ not json")
+        doc = build_report(
+            status=str(tmp_path / "absent.json"),
+            trace=str(bad),
+            result=str(bad),
+        )
+        assert_well_formed(doc)
+        assert "No readable artifacts" in doc
+
+    def test_write_report_and_cli(self, tmp_path, artifacts, capsys):
+        out = tmp_path / "report.html"
+        write_report(str(out), **artifacts)
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+        from repro.cli import main
+
+        out2 = tmp_path / "cli.html"
+        code = main([
+            "obs", "report", "--out", str(out2),
+            "--status", artifacts["status"],
+            "--trace", artifacts["trace"],
+            "--metrics", artifacts["metrics"],
+            "--result", artifacts["result"],
+            "--profile", artifacts["profile"],
+        ])
+        assert code == 0
+        assert_well_formed(out2.read_text())
+
+
+class TestParsers:
+    def test_parse_prometheus(self):
+        samples = parse_prometheus(
+            "# HELP x y\n# TYPE a counter\n"
+            'a{k="v 1"} 2\nb 3.5\nbroken line\nc +Inf\n'
+        )
+        assert ("a", '{k="v 1"}', 2.0) in samples
+        assert ("b", "", 3.5) in samples
+        assert ("c", "", float("inf")) in samples
+        assert len(samples) == 3
+
+    def test_parse_collapsed_sorted_heaviest_first(self):
+        pairs = parse_collapsed("a;b 10\nc 90\nnoise\n")
+        assert pairs == [("c", 90), ("a;b", 10)]

@@ -114,7 +114,9 @@ class TestPoolBoundary:
         assert reg.counter_value(
             "repro_batch_items_total", status="ok", method="SPP/Exact"
         ) == 4.0
-        assert reg.gauge_value("repro_batch_queue_wait_seconds") is not None
+        # queue wait is a histogram observed once per chunk, not a gauge
+        hist = reg.histograms.get("repro_batch_queue_wait_seconds", {}).get("")
+        assert hist is not None and hist.count >= 1
         assert reg.counter_value("repro_curve_cache_misses_total") > 0
 
     def test_item_records_carry_worker_observability(self):

@@ -105,6 +105,55 @@ class TestSnapshotMerge:
         assert tuple(hist.bounds) == DEFAULT_BUCKETS
         assert hist.count == 2
 
+    def test_merge_concurrent_pool_snapshots_with_overlapping_labels(self):
+        # Two workers report overlapping and disjoint label sets; merging
+        # both into the parent must add the overlaps and keep the rest.
+        worker_a = MetricsRegistry()
+        worker_a.inc("items_total", 2.0, status="ok", method="SPP/Exact")
+        worker_a.inc("items_total", 1.0, status="error", method="SPP/Exact")
+        worker_a.observe("wait_seconds", 0.1)
+        worker_a.set_gauge("depth", 3.0)
+        worker_b = MetricsRegistry()
+        worker_b.inc("items_total", 5.0, status="ok", method="SPP/Exact")
+        worker_b.inc("items_total", 4.0, status="ok", method="Fixpoint/App")
+        worker_b.observe("wait_seconds", 0.2, pool="p1")
+        worker_b.set_gauge("depth", 9.0)
+
+        dst = MetricsRegistry()
+        dst.merge(worker_a.snapshot())
+        dst.merge(worker_b.snapshot())
+        assert dst.counter_value(
+            "items_total", status="ok", method="SPP/Exact"
+        ) == 7.0
+        assert dst.counter_value(
+            "items_total", status="error", method="SPP/Exact"
+        ) == 1.0
+        assert dst.counter_value(
+            "items_total", status="ok", method="Fixpoint/App"
+        ) == 4.0
+        assert dst.counter_value("items_total") == 12.0
+        # per-label histogram series stay separate; gauges last-write-win
+        assert dst.histograms["wait_seconds"][""].count == 1
+        assert dst.histograms["wait_seconds"]['{pool="p1"}'].count == 1
+        assert dst.gauge_value("depth") == 9.0
+        # merge order only matters for gauges
+        alt = MetricsRegistry()
+        alt.merge(worker_b.snapshot())
+        alt.merge(worker_a.snapshot())
+        assert alt.counters == dst.counters
+        assert alt.gauge_value("depth") == 3.0
+
+    def test_merge_escaped_label_values_collide_correctly(self):
+        # A label value needing escaping merges with its identical twin,
+        # not with a visually-similar pre-escaped one.
+        src = MetricsRegistry()
+        src.inc("odd_total", 1.0, path='a\\b"c')
+        dst = MetricsRegistry()
+        dst.inc("odd_total", 2.0, path='a\\b"c')
+        dst.merge(src.snapshot())
+        assert dst.counter_value("odd_total", path='a\\b"c') == 3.0
+        assert len(dst.counters["odd_total"]) == 1
+
     def test_merge_rejects_mismatched_buckets(self):
         dst = self.make_source()
         snap = self.make_source().snapshot()

@@ -1,0 +1,100 @@
+"""Tests for the collapsed-stack profiler (repro.obs.profile)."""
+
+import re
+
+from repro.obs.profile import Profiler, collapse_profile
+from repro.obs.session import observe
+
+COLLAPSED_LINE = re.compile(r"^\S+( \S+)?$")
+
+
+def _waste_time(n=4000):
+    return sum(i * i for i in range(n))
+
+
+def _outer():
+    return _waste_time() + _waste_time()
+
+
+class TestCollapsedFormat:
+    def run_profiler(self):
+        with Profiler() as prof:
+            _outer()
+        return prof.collapsed_stacks()
+
+    def test_lines_are_flamegraph_grammar(self):
+        lines = self.run_profiler()
+        assert lines
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert int(weight) >= 1  # integer microseconds, never zero
+            for frame in stack.split(";"):
+                assert frame and " " not in frame
+
+    def test_caller_paths_reach_the_workload(self):
+        lines = self.run_profiler()
+        hot = [li for li in lines if "_waste_time" in li]
+        assert hot
+        # _waste_time is reached via _outer on at least one path
+        assert any("_outer" in li.split(" ")[0] for li in hot)
+
+    def test_recursion_terminates(self):
+        def recurse(n):
+            return 1 if n <= 0 else recurse(n - 1) + _waste_time(50)
+
+        with Profiler() as prof:
+            recurse(200)
+        lines = prof.collapsed_stacks()
+        assert lines
+        # the recursive frame appears at most once per path
+        for line in lines:
+            frames = line.rsplit(" ", 1)[0].split(";")
+            assert len(frames) == len(set(frames))
+
+    def test_collapse_empty_profile(self):
+        import cProfile
+
+        assert collapse_profile(cProfile.Profile()) == []
+
+
+class TestProfilerArtifacts:
+    def test_write_cpu_artifact(self, tmp_path):
+        path = tmp_path / "prof.txt"
+        with Profiler() as prof:
+            _outer()
+        prof.write(str(path))
+        text = path.read_text()
+        assert text.endswith("\n") and text.strip()
+
+    def test_memory_stacks_weighted_in_bytes(self, tmp_path):
+        with Profiler(mem=True) as prof:
+            keep = [bytearray(10_000) for _ in range(20)]
+        assert keep
+        lines = prof.memory_stacks()
+        assert lines
+        weights = [int(li.rsplit(" ", 1)[1]) for li in lines]
+        assert max(weights) >= 10_000
+        prof.write_memory(str(tmp_path / "mem.txt"))
+        assert (tmp_path / "mem.txt").read_text().strip()
+
+    def test_memory_off_by_default(self):
+        with Profiler() as prof:
+            _waste_time()
+        assert prof.memory_stacks() == []
+
+
+class TestSessionIntegration:
+    def test_observe_writes_profile_artifacts(self, tmp_path):
+        cpu = tmp_path / "cpu.txt"
+        mem = tmp_path / "mem.txt"
+        with observe(
+            profile_out=str(cpu), profile_mem_out=str(mem)
+        ) as session:
+            assert session.profiler is not None
+            _outer()
+        assert cpu.read_text().strip()
+        assert mem.read_text().strip()
+
+    def test_observe_without_profile_flags_has_no_profiler(self):
+        with observe() as session:
+            assert session.profiler is None

@@ -1,0 +1,210 @@
+"""Tests for live status files (repro.obs.status) and the watcher."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.status import (
+    STATUS_KIND,
+    STATUS_SCHEMA_VERSION,
+    StatusWriter,
+    read_status,
+)
+from repro.obs.watch import render_status, watch
+
+
+def make_writer(path, **kwargs):
+    kwargs.setdefault("interval", 0.0)
+    return StatusWriter(str(path), **kwargs)
+
+
+class TestStatusWriter:
+    def test_document_shape_and_counts(self, tmp_path):
+        path = tmp_path / "st.json"
+        w = make_writer(path)
+        w.begin(total=6, n_workers=2)
+        for status in ("ok", "ok", "error", "timeout", "quarantined"):
+            w.item_done(status)
+        w.item_done("ok", resumed=True)
+        w.finish()
+        doc = read_status(str(path))
+        assert doc["schema"] == STATUS_SCHEMA_VERSION
+        assert doc["kind"] == STATUS_KIND
+        assert doc["state"] == "done"
+        assert doc["total"] == 6 and doc["done"] == 6
+        assert doc["ok"] == 3 and doc["failed"] == 3
+        assert doc["quarantined"] == 1 and doc["resumed"] == 1
+        assert doc["by_status"] == {
+            "error": 1, "ok": 3, "quarantined": 1, "timeout": 1
+        }
+        assert doc["elapsed_seconds"] >= 0.0
+
+    def test_retried_counts_only_fresh_items(self, tmp_path):
+        w = make_writer(tmp_path / "st.json")
+        w.begin(total=2)
+        w.item_done("ok", retried=True)
+        w.item_done("ok", resumed=True, retried=True)
+        assert w.retried == 1 and w.resumed == 1
+
+    def test_throughput_warms_up_and_drives_eta(self, tmp_path):
+        w = make_writer(tmp_path / "st.json")
+        w.begin(total=100)
+        assert w.throughput() is None and w.eta_seconds() is None
+        w.item_done("ok")  # first completion only anchors the clock
+        assert w.throughput() is None
+        w.item_done("ok")
+        rate = w.throughput()
+        assert rate is not None and rate > 0
+        assert w.eta_seconds() == pytest.approx(98 / rate)
+
+    def test_resumed_items_do_not_skew_throughput(self, tmp_path):
+        w = make_writer(tmp_path / "st.json")
+        w.begin(total=100)
+        for _ in range(50):
+            w.item_done("ok", resumed=True)
+        assert w.throughput() is None  # replay burst is not a rate signal
+
+    def test_serial_campaign_reports_own_pid(self, tmp_path):
+        path = tmp_path / "st.json"
+        w = make_writer(path)
+        w.begin(total=1, n_workers=0)
+        doc = read_status(str(path))
+        assert str(os.getpid()) in doc["workers"]
+
+    def test_throttle_skips_but_force_writes(self, tmp_path):
+        path = tmp_path / "st.json"
+        w = make_writer(path, interval=3600.0)
+        w.begin(total=2)  # forced initial write
+        before = path.read_text()
+        w.item_done("ok")  # throttled: within the interval
+        assert path.read_text() == before
+        assert w.write(force=True)
+        assert json.loads(path.read_text())["done"] == 1
+
+    def test_interval_must_be_non_negative(self, tmp_path):
+        with pytest.raises(ValueError):
+            StatusWriter(str(tmp_path / "st.json"), interval=-1.0)
+
+    def test_metrics_snapshot_embedded_and_json_safe(self, tmp_path):
+        path = tmp_path / "st.json"
+        reg = obs_metrics.enable_metrics()
+        try:
+            reg.inc("repro_items_total", 2.0, status="ok")
+            reg.set_gauge("repro_weird", float("inf"))
+            w = make_writer(path)
+            w.begin(total=1)
+        finally:
+            obs_metrics.disable_metrics()
+        doc = json.loads(path.read_text())  # strict json must round-trip
+        assert doc["metrics"]["counters"]["repro_items_total"]
+        assert isinstance(doc["metrics"]["gauges"]["repro_weird"][""], str)
+
+    def test_journal_position_reported(self, tmp_path):
+        class FakeJournal:
+            path = "j.wal"
+            n_appended = 17
+
+        path = tmp_path / "st.json"
+        w = make_writer(path)
+        w.begin(total=1, journal=FakeJournal())
+        doc = read_status(str(path))
+        assert doc["journal"] == {"path": "j.wal", "appended": 17}
+
+
+class TestReadStatusTornWrites:
+    """A watcher polling mid-write (or over NFS) must never crash."""
+
+    def test_missing_file(self, tmp_path):
+        assert read_status(str(tmp_path / "absent.json")) is None
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "st.json"
+        path.write_text("")
+        assert read_status(str(path)) is None
+
+    def test_torn_prefix_of_valid_document(self, tmp_path):
+        # Simulate a non-atomic transport exposing every prefix of the
+        # document: no prefix may crash, and only the full text parses.
+        path = tmp_path / "st.json"
+        w = make_writer(path)
+        w.begin(total=3, n_workers=2)
+        w.item_done("ok")
+        full = path.read_text()
+        # every prefix short of the closing brace is torn (a cut inside
+        # trailing whitespace still parses, and should)
+        for cut in range(len(full.rstrip())):
+            path.write_text(full[:cut])
+            assert read_status(str(path)) is None, cut
+        path.write_text(full)
+        assert read_status(str(path))["done"] == 1
+
+    def test_garbage_and_foreign_json(self, tmp_path):
+        path = tmp_path / "st.json"
+        for text in ("not json", "[1, 2]", '"str"', "{}",
+                     '{"kind": "other", "schema": 1}',
+                     '{"kind": "repro.status", "schema": "x"}'):
+            path.write_text(text)
+            assert read_status(str(path)) is None, text
+
+    def test_binary_garbage(self, tmp_path):
+        path = tmp_path / "st.json"
+        path.write_bytes(b"\x00\xff\xfe{]")
+        assert read_status(str(path)) is None
+
+
+class TestWatch:
+    def finished_doc(self, tmp_path):
+        path = tmp_path / "st.json"
+        w = make_writer(path)
+        w.begin(total=2, n_workers=1)
+        w.item_done("ok")
+        w.item_done("error")
+        w.finish()
+        return str(path)
+
+    def test_once_renders_and_exits_zero(self, tmp_path):
+        path = self.finished_doc(tmp_path)
+        out = io.StringIO()
+        assert watch(path, once=True, stream=out) == 0
+        frame = out.getvalue()
+        assert "repro batch" in frame and "2/2" in frame
+        assert "failed 1" in frame
+
+    def test_once_unreadable_exits_one(self, tmp_path):
+        out = io.StringIO()
+        assert watch(str(tmp_path / "nope.json"), once=True, stream=out) == 1
+        assert "no readable status" in out.getvalue()
+
+    def test_follow_returns_on_terminal_state(self, tmp_path):
+        path = self.finished_doc(tmp_path)
+        out = io.StringIO()
+        assert watch(path, interval=0.0, stream=out) == 0
+
+    def test_render_tolerates_sparse_documents(self):
+        # A minimal (or future-schema) document still renders.
+        text = render_status({"kind": STATUS_KIND, "schema": 99})
+        assert "repro" in text
+        text = render_status(
+            {"campaign": "audit", "state": "running", "total": 10, "done": 3,
+             "workers": {"1": 0.1, "2": 999.0}, "by_status": {"ok": 3}}
+        )
+        assert "audit" in text and "1/2 alive" in text
+
+    def test_cli_once(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self.finished_doc(tmp_path)
+        assert main(["obs", "watch", path, "--once"]) == 0
+        assert "repro batch" in capsys.readouterr().out
+
+    def test_broken_pipe_is_a_clean_exit(self, tmp_path):
+        # ``repro obs watch s.json | head`` closes stdout mid-frame.
+        class ClosedPipe(io.StringIO):
+            def write(self, _text):
+                raise BrokenPipeError
+
+        path = self.finished_doc(tmp_path)
+        assert watch(path, once=True, stream=ClosedPipe()) == 0
