@@ -56,6 +56,12 @@ class AnalysisOptions:
     #: result field are unchanged, and the flag is excluded from journal
     #: item digests.
     convergence: bool = False
+    #: In-process curve-cache capacity (entries before LRU eviction).
+    #: ``None`` keeps :data:`repro.curves.memo.DEFAULT_CACHE_SIZE`.
+    #: Performance-only -- memoized values are exact, so capacity never
+    #: changes a bound -- and therefore excluded from journal item
+    #: digests, like ``convergence``.
+    cache_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.backend is not None and self.backend not in ("numpy", "python"):
@@ -81,6 +87,10 @@ class AnalysisOptions:
         if self.compact_mode == "error" and self.compact_max_error is None:
             raise ValueError(
                 "compact_mode='error' requires compact_max_error"
+            )
+        if self.cache_size is not None and self.cache_size <= 0:
+            raise ValueError(
+                f"cache_size must be positive, got {self.cache_size}"
             )
 
     @property

@@ -68,6 +68,7 @@ from ..analysis.admission import make_analyzer
 from ..analysis.base import AnalysisResult
 from ..analysis.horizon import HorizonConfig
 from ..analysis.options import AnalysisOptions
+from ..cache import CurveSpill, DiskCacheStore, ResultCache, result_key
 from ..curves import backend as _backend
 from ..curves import memo
 from ..model.system import System
@@ -139,6 +140,10 @@ class ItemResult:
     rounds: int = 0  #: adaptive-horizon rounds used (0 for horizon-free)
     cache_hits: int = 0  #: curve-cache hits attributable to this item
     cache_misses: int = 0
+    #: Curve-cache evictions / disk-spill hits attributable to this item
+    #: (report-level telemetry; not part of the JSONL record).
+    cache_evictions: int = 0
+    cache_disk_hits: int = 0
     audited: bool = False  #: soundness audit ran for this item
     violations: List[Dict[str, Any]] = field(default_factory=list)  #: audit findings
     #: Span snapshot captured in the worker process (pool runs with the
@@ -166,6 +171,9 @@ class ItemResult:
     journal_payload: Optional[Dict[str, Any]] = None
     #: The item was skipped on resume (outcome recovered from a journal).
     resumed: bool = False
+    #: The item was served from the persistent result cache
+    #: (``cache_dir``) instead of being re-analyzed.
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -205,6 +213,19 @@ class ItemResult:
         )
         rec.journal_payload = copy.deepcopy(payload)
         rec.resumed = True
+        return rec
+
+    @classmethod
+    def from_cache(cls, payload: Dict[str, Any], index: int) -> "ItemResult":
+        """Rehydrate a result from the persistent result cache.
+
+        Identical to :meth:`from_journal` -- the cached value *is* the
+        item's JSONL record, re-emitted verbatim -- except the item is
+        flagged ``cached`` rather than ``resumed``.
+        """
+        rec = cls.from_journal(payload, index)
+        rec.resumed = False
+        rec.cached = True
         return rec
 
     def to_dict(self) -> Dict[str, Any]:
@@ -280,6 +301,11 @@ class BatchReport:
         return sum(1 for r in self.results if r.resumed)
 
     @property
+    def n_cached(self) -> int:
+        """Items served from the persistent result cache."""
+        return sum(1 for r in self.results if r.cached)
+
+    @property
     def n_retried(self) -> int:
         """Items that needed more than one attempt."""
         return sum(1 for r in self.results if len(r.attempts) > 1)
@@ -320,6 +346,15 @@ class BatchReport:
         return self.cache_hits / n if n else 0.0
 
     @property
+    def cache_evictions(self) -> int:
+        return sum(r.cache_evictions for r in self.results)
+
+    @property
+    def cache_disk_hits(self) -> int:
+        """Curve-cache lookups served from the disk spill."""
+        return sum(r.cache_disk_hits for r in self.results)
+
+    @property
     def items_per_second(self) -> float:
         return len(self.results) / self.wall_time if self.wall_time > 0 else math.inf
 
@@ -333,8 +368,14 @@ class BatchReport:
             f"({self.cache_hits} hits / {self.cache_misses} misses)"
         )
         extras = []
+        if self.cache_evictions:
+            extras.append(f"evictions={self.cache_evictions}")
+        if self.cache_disk_hits:
+            extras.append(f"disk_hits={self.cache_disk_hits}")
         if self.n_resumed:
             extras.append(f"resumed={self.n_resumed}")
+        if self.n_cached:
+            extras.append(f"cached={self.n_cached}")
         if self.n_retried:
             extras.append(f"retried={self.n_retried}")
         if self.n_degraded:
@@ -501,6 +542,8 @@ def _analyze_one(
             rounds=result.rounds if result is not None else 0,
             cache_hits=delta.hits if delta is not None else 0,
             cache_misses=delta.misses if delta is not None else 0,
+            cache_evictions=delta.evictions if delta is not None else 0,
+            cache_disk_hits=delta.disk_hits if delta is not None else 0,
             audited=audited,
             violations=violations,
             timeout_enforced=timeout_enforced,
@@ -536,11 +579,16 @@ def _worker_chunk(payload) -> Dict[str, Any]:
         injector,
         attempt,
         options_override,
+        cache_dir,
     ) = payload
     queue_wait = (
         max(0.0, time.time() - submitted_at) if submitted_at is not None else None
     )
     cache = memo.enable_curve_cache(cache_size) if use_cache else None
+    if cache is not None and cache_dir is not None and cache.spill is None:
+        # First chunk in this worker: attach the disk spill once; it (and
+        # its store counters) then persists with the cache across chunks.
+        cache.spill = CurveSpill(DiskCacheStore(cache_dir))
     return {
         "queue_wait": queue_wait,
         "pid": os.getpid(),
@@ -601,7 +649,17 @@ class BatchEngine:
         Memoize the min-plus kernel per worker process (and, serially,
         per engine) via :mod:`repro.curves.memo`.
     cache_size:
-        LRU capacity of each per-process curve cache.
+        LRU capacity of each per-process curve cache.  ``None`` (the
+        default) falls back to ``options.cache_size`` when set, else to
+        :data:`repro.curves.memo.DEFAULT_CACHE_SIZE`.
+    cache_dir:
+        Root of a persistent cross-run cache (see :mod:`repro.cache`).
+        Enables both tiers: whole-item records are served from /
+        written to the ``results`` tier (a hit skips the analysis
+        entirely and re-emits the stored record verbatim), and every
+        per-process curve cache spills memoized kernels to the
+        ``curves`` tier.  ``None`` (the default) touches no disk and is
+        byte-identical to the pre-cache engine.
     audit:
         Cross-validate every successfully analyzed item against the
         simulator (:func:`repro.audit.checks.cross_validate`); findings
@@ -646,7 +704,8 @@ class BatchEngine:
         chunksize: Optional[int] = None,
         timeout: Optional[float] = None,
         use_cache: bool = True,
-        cache_size: int = memo.DEFAULT_CACHE_SIZE,
+        cache_size: Optional[int] = None,
+        cache_dir: Optional[str] = None,
         audit: bool = False,
         options: Optional[AnalysisOptions] = None,
         retry: Optional[RetryPolicy] = None,
@@ -669,7 +728,14 @@ class BatchEngine:
         self.chunksize = chunksize
         self.timeout = timeout
         self.use_cache = use_cache
-        self.cache_size = cache_size
+        if cache_size is None and options is not None:
+            cache_size = options.cache_size
+        if cache_size is None:
+            cache_size = memo.DEFAULT_CACHE_SIZE
+        if cache_size <= 0:
+            raise ValueError("cache_size must be positive")
+        self.cache_size = int(cache_size)
+        self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
         self.audit = audit
         self.options = options
         self.retry = retry
@@ -682,10 +748,25 @@ class BatchEngine:
         #: Live :class:`~repro.obs.status.StatusWriter` while run() is
         #: active (the pool path feeds worker liveness through it).
         self._status: Optional[StatusWriter] = None
+        # Persistent-cache plumbing: one store per engine (workers build
+        # their own against the same directory).
+        self._store: Optional[DiskCacheStore] = (
+            DiskCacheStore(self.cache_dir) if self.cache_dir is not None else None
+        )
+        self._result_cache: Optional[ResultCache] = (
+            ResultCache(self._store) if self._store is not None else None
+        )
         # Serial-mode cache persists across run() calls, mirroring the
         # per-worker persistent caches of the pool path.
         self._serial_cache: Optional[memo.CurveCache] = (
-            memo.CurveCache(cache_size) if use_cache else None
+            memo.CurveCache(
+                self.cache_size,
+                spill=CurveSpill(self._store)
+                if self._store is not None
+                else None,
+            )
+            if use_cache
+            else None
         )
 
     # ------------------------------------------------------------------
@@ -712,14 +793,25 @@ class BatchEngine:
             if not resumed
             else [r for r in records if r[0] not in resumed]
         )
+        # Persistent result cache: serve still-pending items whose full
+        # record is already stored, exactly like journal resume (the
+        # cached value *is* the record, re-emitted verbatim).
+        cache_keys: Optional[Dict[int, str]] = None
+        cached: Optional[Dict[int, ItemResult]] = None
+        if self._result_cache is not None and pending:
+            cache_keys = self._cache_keys(pending, digests)
+            cached = self._load_cached(pending, cache_keys)
+            if cached:
+                pending = [r for r in pending if r[0] not in cached]
         status = self._make_status()
         self._status = status
         try:
             with trace_span(
                 "batch.run", n_items=len(records), n_workers=self.n_workers
             ) as span:
+                journal_sink = self._journal_sink(journal, digests)
                 on_final = self._status_sink(
-                    self._journal_sink(journal, digests), status
+                    self._result_sink(journal_sink, cache_keys), status
                 )
                 if status is not None:
                     status.begin(
@@ -729,12 +821,23 @@ class BatchEngine:
                     )
                     for r in (resumed or {}).values():
                         status.item_done(r.status, resumed=True)
+                if cached:
+                    # Journal cache hits up front (in submission order) so
+                    # the journal stays complete for later resumes.
+                    for index in sorted(cached):
+                        r = cached[index]
+                        if journal_sink is not None:
+                            journal_sink(r)
+                        if status is not None:
+                            status.item_done(r.status, cached=True)
                 if self.n_workers > 1 and len(pending) > 1:
                     results = self._run_pool(pending, on_final)
                     n_workers = self.n_workers
                 else:
                     results = self._run_serial(pending, on_final)
                     n_workers = 0
+                if cached:
+                    results.extend(cached.values())
                 if resumed:
                     results.extend(resumed.values())
                 results.sort(key=lambda r: r.index)
@@ -851,6 +954,81 @@ class BatchEngine:
         if self.options is not None and self.options.backend is not None:
             return self.options.backend
         return _backend.active_backend_name()
+
+    # ------------------------------------------------------------------
+    # persistent result-cache plumbing
+    # ------------------------------------------------------------------
+
+    def _cache_keys(
+        self, records: List[_Record], digests: Optional[Dict[int, str]]
+    ) -> Dict[int, str]:
+        """Result-cache key per record index (content digest x context).
+
+        Journal digests are reused when journaling is on, so the two
+        mechanisms share one key space by construction.
+        """
+        keys: Dict[int, str] = {}
+        for record in records:
+            index, _id, system, method, horizon, options, audit = record
+            digest = (
+                digests[index]
+                if digests is not None
+                else item_digest(system, method, horizon, options)
+            )
+            backend = (
+                options.backend
+                if options is not None and options.backend is not None
+                else _backend.active_backend_name()
+            )
+            keys[index] = result_key(digest, audit=audit, backend=backend)
+        return keys
+
+    def _load_cached(
+        self, records: List[_Record], keys: Dict[int, str]
+    ) -> Dict[int, ItemResult]:
+        """Records whose full result is already in the persistent cache."""
+        assert self._result_cache is not None
+        cached: Dict[int, ItemResult] = {}
+        for record in records:
+            index = record[0]
+            payload = self._result_cache.get(keys[index])
+            if payload is not None:
+                cached[index] = ItemResult.from_cache(payload, index)
+        return cached
+
+    def _result_sink(
+        self,
+        on_final: Optional[Callable[[ItemResult], None]],
+        keys: Optional[Dict[int, str]],
+    ) -> Optional[Callable[[ItemResult], None]]:
+        """Compose ``on_final`` with result-cache write-through.
+
+        Only clean first-try successes are stored: a retried, degraded,
+        unenforced-timeout or failed record reflects this run's
+        environment, not the item, and a record carrying trace/metrics
+        snapshots would replay stale observability.  Resumed/cached
+        records (``journal_payload`` set) are already in the cache.
+        """
+        if self._result_cache is None or keys is None:
+            return on_final
+        result_cache = self._result_cache
+
+        def sink(item: ItemResult) -> None:
+            if on_final is not None:
+                on_final(item)
+            if (
+                item.ok
+                and not item.degraded
+                and not item.attempts
+                and item.journal_payload is None
+                and item.trace is None
+                and item.metrics is None
+                and item.timeout_enforced is not False
+                and item.index in keys
+            ):
+                result_cache.put(keys[item.index], item.to_dict())
+
+        return sink
 
     # ------------------------------------------------------------------
     # live status plumbing
@@ -997,6 +1175,7 @@ class BatchEngine:
             self.fault_injector,
             attempt,
             options_override,
+            self.cache_dir,
         )
 
     def _run_pool(

@@ -110,6 +110,7 @@ def item_digest(
         # must not change the digest (journals written before the knob
         # existed stay resumable).
         opts_payload.pop("convergence", None)
+        opts_payload.pop("cache_size", None)
     payload = {
         "system": system_to_dict(system),
         "method": method,

@@ -11,6 +11,7 @@ from .faults import (
     ChaosInjector,
     ChaosTransientError,
     corrupt_journal_tail,
+    tamper_cache_entries,
     truncate_journal_tail,
 )
 from .harness import (
@@ -32,5 +33,6 @@ __all__ = [
     "normalize_record",
     "run_campaign",
     "run_chaos",
+    "tamper_cache_entries",
     "truncate_journal_tail",
 ]

@@ -26,6 +26,7 @@ __all__ = [
     "ChaosInjector",
     "ChaosTransientError",
     "corrupt_journal_tail",
+    "tamper_cache_entries",
     "truncate_journal_tail",
 ]
 
@@ -166,3 +167,42 @@ def corrupt_journal_tail(path: str, flip: int = 5) -> int:
         original = raw[target : target + flip]
         fh.write(bytes((b ^ 0xA5) for b in original))
     return target
+
+
+def tamper_cache_entries(
+    cache_dir: str, seed: int = 0, fraction: float = 0.3, flip: int = 3
+) -> int:
+    """Flip bytes inside a deterministic subset of cache entry files.
+
+    Simulates silent disk corruption of the persistent cache
+    (:mod:`repro.cache`): each entry under ``cache_dir`` is selected with
+    probability ``fraction`` by a seed-keyed hash of its filename (stable
+    across runs and directory orderings), and ``flip`` bytes in its
+    middle are XOR-scrambled in place.  The store's CRC self-verification
+    must turn every tampered entry into a counted miss -- recomputed,
+    never served.  Returns the number of entries tampered.
+    """
+    if not 0 <= fraction <= 1:
+        raise ValueError("fraction must be in [0, 1]")
+    tampered = 0
+    for dirpath, _dirnames, filenames in sorted(os.walk(cache_dir)):
+        for name in sorted(filenames):
+            if not name.endswith(".json"):
+                continue
+            digest = hashlib.blake2b(
+                f"{seed}:{name}".encode("utf-8"), digest_size=8
+            ).digest()
+            u = int.from_bytes(digest, "big") / float(1 << 64)
+            if u >= fraction:
+                continue
+            path = os.path.join(dirpath, name)
+            with open(path, "r+b") as fh:
+                raw = fh.read()
+                if not raw:
+                    continue
+                target = len(raw) // 2
+                fh.seek(target)
+                original = raw[target : target + flip]
+                fh.write(bytes((b ^ 0xA5) for b in original))
+            tampered += 1
+    return tampered

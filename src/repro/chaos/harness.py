@@ -38,7 +38,12 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..batch import BatchEngine, BatchItem, BatchJournal, RetryPolicy
 from ..model.io import system_from_dict
 from ..obs.status import read_status
-from .faults import ChaosInjector, corrupt_journal_tail, truncate_journal_tail
+from .faults import (
+    ChaosInjector,
+    corrupt_journal_tail,
+    tamper_cache_entries,
+    truncate_journal_tail,
+)
 
 __all__ = [
     "ChaosConfig",
@@ -68,6 +73,11 @@ class ChaosConfig:
     #: ``none``, ``truncate`` (torn final write) or ``corrupt`` (CRC rot).
     tamper: str = "truncate"
     max_attempts: int = 4
+    #: Persistent cache root used by the injected runs (``None`` = no
+    #: cache).  When set, the harness also scrambles a deterministic
+    #: subset of cache entries after the first kill -- the equivalence
+    #: check then proves cache corruption never propagates into results.
+    cache_dir: Optional[str] = None
 
     def policy(self) -> RetryPolicy:
         """Retry policy for both the baseline and the injected runs.
@@ -191,6 +201,7 @@ def run_campaign(
         fault_injector=config.injector() if inject else None,
         status=status,
         status_interval=status_interval,
+        cache_dir=config.cache_dir,
     )
     engine.run(items)
 
@@ -244,6 +255,7 @@ class ChaosReport:
             "kill_points": list(self.config.kill_points),
             "tamper": self.config.tamper,
             "max_attempts": self.config.max_attempts,
+            "cache_dir": self.config.cache_dir,
         }
         return {
             "ok": self.ok,
@@ -300,6 +312,8 @@ def _child_command(
         "--max-attempts",
         str(config.max_attempts),
     ]
+    if config.cache_dir is not None:
+        cmd += ["--cache-dir", config.cache_dir]
     if kill_after is not None:
         cmd += ["--kill-after", str(kill_after)]
     if status is not None:
@@ -419,6 +433,16 @@ def run_chaos(
                 stage["tampered_at"] = corrupt_journal_tail(journal_path)
             else:
                 report.errors.append(f"unknown tamper mode {config.tamper!r}")
+        if (
+            stage_no == 0
+            and config.cache_dir is not None
+            and os.path.isdir(config.cache_dir)
+        ):
+            # Scramble part of the persistent cache mid-campaign: the
+            # store must detect every damaged entry and recompute.
+            stage["cache_tampered"] = tamper_cache_entries(
+                config.cache_dir, seed=config.seed
+            )
 
     # -- final resume to completion ------------------------------------
     returncode, err = _run_child(
@@ -516,6 +540,7 @@ def main_child(args) -> int:
         timeout_rate=args.timeout_rate,
         error_rate=args.error_rate,
         max_attempts=args.max_attempts,
+        cache_dir=args.cache_dir,
     )
     run_campaign(
         config,
@@ -541,6 +566,7 @@ def main_parent(args) -> Tuple[int, ChaosReport]:
         kill_points=tuple(args.kill_points),
         tamper=args.tamper,
         max_attempts=args.max_attempts,
+        cache_dir=args.cache_dir,
     )
     report = run_chaos(config, args.journal, status_path=args.status)
     if args.json:

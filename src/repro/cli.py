@@ -30,6 +30,14 @@ Commands
 
         python -m repro batch items.jsonl --workers 4 --timeout 30
 
+``shard``
+    Split a JSONL campaign into deterministic shards and merge the shard
+    artifacts back into one campaign result (byte-identical to an
+    unsharded run)::
+
+        python -m repro shard plan items.jsonl --shards 3 --out plan.json
+        python -m repro shard merge --plan plan.json --records s*.jsonl --out all.jsonl
+
 ``audit``
     Randomized soundness audit: cross-validate every analysis against
     the simulator on fuzzed, fault-injected systems; shrink and save any
@@ -120,6 +128,29 @@ def _add_compact_args(p: argparse.ArgumentParser) -> None:
         "it as a 'convergence' block to the result (telemetry only; "
         "bounds are unchanged)",
     )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        dest="cache_size",
+        metavar="N",
+        help="in-process curve-cache capacity in entries (default: "
+        "4096); performance-only, results are unchanged",
+    )
+
+
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    """Attach the persistent cross-run cache knob (see docs/performance.md)."""
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        dest="cache_dir",
+        metavar="DIR",
+        help="persistent cross-run cache root: memoized curve kernels "
+        "and (for batch) whole item records are stored under DIR and "
+        "reused by later runs; entries are self-verified, so a corrupt "
+        "cache only ever costs recomputation",
+    )
 
 
 def _options_from_args(args) -> Optional[AnalysisOptions]:
@@ -133,6 +164,7 @@ def _options_from_args(args) -> Optional[AnalysisOptions]:
     no_warm = getattr(args, "no_warm_start", False)
     backend = getattr(args, "backend", "auto")
     convergence = getattr(args, "convergence", False)
+    cache_size = getattr(args, "cache_size", None)
     if backend == "auto":
         backend = None
     if (
@@ -141,6 +173,7 @@ def _options_from_args(args) -> Optional[AnalysisOptions]:
         and not no_warm
         and backend is None
         and not convergence
+        and cache_size is None
     ):
         return None
     if budget is not None and max_error is not None:
@@ -154,7 +187,32 @@ def _options_from_args(args) -> Optional[AnalysisOptions]:
         warm_start=not no_warm,
         backend=backend,
         convergence=convergence,
+        cache_size=cache_size,
     )
+
+
+def _cache_scope(args):
+    """Curve-cache context for single-run commands (analyze / audit).
+
+    ``--cache-dir`` activates an in-process curve cache spilling to the
+    persistent store; ``--cache-size`` alone activates a purely
+    in-memory one.  Neither flag -> a no-op context, keeping the default
+    path byte-identical to the uncached pipeline.
+    """
+    from contextlib import nullcontext
+
+    cache_dir = getattr(args, "cache_dir", None)
+    cache_size = getattr(args, "cache_size", None)
+    if cache_dir is None and cache_size is None:
+        return nullcontext()
+    from .cache import CurveSpill, DiskCacheStore
+    from .curves import memo
+
+    spill = (
+        CurveSpill(DiskCacheStore(cache_dir)) if cache_dir is not None else None
+    )
+    size = cache_size if cache_size is not None else memo.DEFAULT_CACHE_SIZE
+    return memo.curve_cache(cache=memo.CurveCache(size, spill=spill))
 
 
 def _add_obs_args(p: argparse.ArgumentParser) -> None:
@@ -232,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the machine-readable result schema"
     )
     _add_compact_args(p_an)
+    _add_cache_args(p_an)
     _add_obs_args(p_an)
 
     p_sim = sub.add_parser("simulate", help="simulate a JSON system description")
@@ -307,7 +366,34 @@ def build_parser() -> argparse.ArgumentParser:
         "attempts per item; poison items are quarantined with a "
         "reproduction payload",
     )
+    p_bat.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        dest="shard_index",
+        metavar="I",
+        help="analyze only shard I of the campaign (0-based; requires "
+        "--shard-count or --shard-manifest)",
+    )
+    p_bat.add_argument(
+        "--shard-count",
+        type=int,
+        default=None,
+        dest="shard_count",
+        metavar="N",
+        help="total number of shards (items are assigned round-robin by "
+        "submission index)",
+    )
+    p_bat.add_argument(
+        "--shard-manifest",
+        default=None,
+        dest="shard_manifest",
+        metavar="FILE",
+        help="shard plan written by 'repro shard plan'; validated against "
+        "this campaign's item digests before running",
+    )
     _add_compact_args(p_bat)
+    _add_cache_args(p_bat)
     _add_obs_args(p_bat)
     _add_status_args(p_bat)
 
@@ -352,6 +438,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_ch.add_argument(
         "--json", default=None, metavar="FILE",
         help="write the chaos report JSON to FILE",
+    )
+    p_ch.add_argument(
+        "--cache-dir",
+        default=None,
+        dest="cache_dir",
+        metavar="DIR",
+        help="run the injected campaigns with a persistent cache under "
+        "DIR and scramble part of it after the first kill; equivalence "
+        "then proves cache corruption never propagates",
     )
     _add_status_args(p_ch)
     p_ch.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
@@ -411,8 +506,89 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the full report as JSON"
     )
     _add_compact_args(p_aud)
+    _add_cache_args(p_aud)
     _add_obs_args(p_aud)
     _add_status_args(p_aud)
+
+    p_sh = sub.add_parser(
+        "shard",
+        help="plan and merge sharded batch campaigns (see docs/performance.md)",
+    )
+    sh_sub = p_sh.add_subparsers(dest="shard_command", required=True)
+
+    p_sp = sh_sub.add_parser(
+        "plan",
+        help="emit a deterministic shard manifest for a JSONL campaign",
+    )
+    p_sp.add_argument(
+        "input",
+        nargs="?",
+        default="-",
+        help="JSONL file of work items ('-' = stdin), exactly as passed "
+        "to 'repro batch'",
+    )
+    p_sp.add_argument(
+        "--shards",
+        type=int,
+        required=True,
+        metavar="N",
+        help="number of shards to split the campaign into",
+    )
+    p_sp.add_argument(
+        "--out", required=True, metavar="FILE", help="manifest output path"
+    )
+    p_sp.add_argument(
+        "--method",
+        default="SPP/Exact",
+        choices=sorted(METHODS),
+        metavar="METHOD",
+        help="default method for items that do not name one (must match "
+        "the batch invocation)",
+    )
+    p_sp.add_argument(
+        "--audit",
+        action="store_true",
+        help="plan for an audited campaign (must match the batch invocation)",
+    )
+    _add_compact_args(p_sp)
+
+    p_sm = sh_sub.add_parser(
+        "merge",
+        help="combine shard outputs into one unsharded campaign result",
+    )
+    p_sm.add_argument(
+        "--plan", required=True, metavar="FILE",
+        help="shard manifest written by 'repro shard plan'",
+    )
+    p_sm.add_argument(
+        "--records", nargs="+", default=None, metavar="FILE",
+        help="per-shard JSONL outputs; merged verbatim in submission order",
+    )
+    p_sm.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="merged JSONL output ('-' or omitted = stdout)",
+    )
+    p_sm.add_argument(
+        "--journals", nargs="+", default=None, metavar="FILE",
+        help="per-shard write-ahead journals; merged into --journal-out",
+    )
+    p_sm.add_argument(
+        "--journal-out", default=None, dest="journal_out", metavar="FILE",
+        help="merged journal path (resumable by the unsharded campaign)",
+    )
+    p_sm.add_argument(
+        "--status", nargs="+", default=None, dest="status_files",
+        metavar="FILE",
+        help="per-shard status files; counts sum into --status-out",
+    )
+    p_sm.add_argument(
+        "--status-out", default=None, dest="status_out", metavar="FILE",
+        help="merged status document path",
+    )
+    p_sm.add_argument(
+        "--metrics-out", default=None, dest="metrics_out", metavar="FILE",
+        help="Prometheus text dump of the merged status metrics snapshots",
+    )
 
     p_tr = sub.add_parser(
         "trace",
@@ -520,7 +696,8 @@ def _cmd_analyze(args) -> int:
         profile_out=args.profile_out,
         profile_mem_out=args.profile_mem_out,
     ):
-        result = make_analyzer(args.method, options=options).analyze(system)
+        with _cache_scope(args):
+            result = make_analyzer(args.method, options=options).analyze(system)
     print(result.to_json(indent=2) if args.json else result.summary())
     return 0 if result.schedulable else 1
 
@@ -624,14 +801,24 @@ def _cmd_figures(args) -> int:
     return 0
 
 
-def _cmd_batch(args) -> int:
-    from .batch import BatchEngine, BatchItem, RetryPolicy
+class _ItemParseError(Exception):
+    """A batch work-item line failed to parse (message is user-ready)."""
+
+
+def _parse_batch_items(path: str, default_method: str) -> List["BatchItem"]:
+    """Parse JSONL work items as ``repro batch`` does ('-' = stdin).
+
+    Shared with ``repro shard plan`` so both commands see the identical
+    item list (ids, methods, order).  Raises :class:`_ItemParseError`
+    with a printable message on bad input.
+    """
+    from .batch import BatchItem
     from .model.io import system_from_dict
 
-    if args.input == "-":
+    if path == "-":
         lines = sys.stdin.read().splitlines()
     else:
-        with open(args.input) as fh:
+        with open(path) as fh:
             lines = fh.read().splitlines()
 
     items: List[BatchItem] = []
@@ -642,37 +829,115 @@ def _cmd_batch(args) -> int:
         try:
             obj = json.loads(line)
         except json.JSONDecodeError as exc:
-            print(f"error: {args.input} line {lineno}: invalid JSON: {exc}",
-                  file=sys.stderr)
-            return 2
+            raise _ItemParseError(
+                f"error: {path} line {lineno}: invalid JSON: {exc}"
+            )
         wrapped = isinstance(obj, dict) and "system" in obj
         system_dict = obj["system"] if wrapped else obj
         try:
             system = system_from_dict(system_dict)
         except (KeyError, TypeError, ValueError) as exc:
-            print(f"error: {args.input} line {lineno}: bad system description: "
-                  f"{exc}", file=sys.stderr)
-            return 2
+            raise _ItemParseError(
+                f"error: {path} line {lineno}: bad system description: {exc}"
+            )
         items.append(
             BatchItem(
                 system=system,
-                method=(obj.get("method") or args.method) if wrapped else args.method,
+                method=(obj.get("method") or default_method)
+                if wrapped
+                else default_method,
                 item_id=str(obj["id"]) if wrapped and "id" in obj else str(lineno),
             )
         )
+    return items
+
+
+def _item_digests(items, options) -> List[str]:
+    """Content digest per item, matching the batch engine's journal keys."""
+    from .batch.journal import item_digest
+
+    return [
+        item_digest(
+            it.system,
+            it.method,
+            it.horizon,
+            it.options if it.options is not None else options,
+        )
+        for it in items
+    ]
+
+
+def _shard_filter(args, items, options) -> Optional[List["BatchItem"]]:
+    """Restrict ``items`` to the requested shard; ``None`` on CLI error."""
+    from .cache import ShardError, check_plan_matches, load_plan, shard_indices
+
+    n_shards = args.shard_count
+    if args.shard_manifest:
+        try:
+            plan = load_plan(args.shard_manifest)
+            if n_shards is not None and n_shards != plan["n_shards"]:
+                raise ShardError(
+                    f"--shard-count {n_shards} disagrees with the manifest's "
+                    f"{plan['n_shards']} shards"
+                )
+            check_plan_matches(
+                plan, _item_digests(items, options), args.shard_manifest
+            )
+            keep = set(shard_indices(plan, args.shard_index))
+        except ShardError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return None
+    else:
+        if n_shards is None:
+            print(
+                "error: --shard-index requires --shard-count or "
+                "--shard-manifest",
+                file=sys.stderr,
+            )
+            return None
+        if not 0 <= args.shard_index < n_shards:
+            print(
+                f"error: --shard-index {args.shard_index} out of range for "
+                f"{n_shards} shards",
+                file=sys.stderr,
+            )
+            return None
+        keep = {i for i in range(len(items)) if i % n_shards == args.shard_index}
+    return [it for i, it in enumerate(items) if i in keep]
+
+
+def _cmd_batch(args) -> int:
+    from .batch import BatchEngine, RetryPolicy
+
+    try:
+        items = _parse_batch_items(args.input, args.method)
+    except _ItemParseError as exc:
+        print(exc, file=sys.stderr)
+        return 2
 
     from .obs import observe
 
     if args.resume and not args.journal:
         print("error: --resume requires --journal", file=sys.stderr)
         return 2
+    options = _options_from_args(args)
+    if args.shard_index is not None:
+        sharded = _shard_filter(args, items, options)
+        if sharded is None:
+            return 2
+        items = sharded
+    elif args.shard_count is not None or args.shard_manifest:
+        print("error: --shard-count/--shard-manifest require --shard-index",
+              file=sys.stderr)
+        return 2
     engine = BatchEngine(
         n_workers=args.workers,
         chunksize=args.chunksize,
         timeout=args.timeout,
         use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
         audit=args.audit,
-        options=_options_from_args(args),
+        options=options,
         retry=RetryPolicy(max_attempts=args.retry) if args.retry else None,
         journal=args.journal,
         resume=args.resume,
@@ -757,7 +1022,8 @@ def _cmd_audit(args) -> int:
         if status is not None:
             status.begin(total=config.n_systems)
         try:
-            report = run_audit(config, progress=progress)
+            with _cache_scope(args):
+                report = run_audit(config, progress=progress)
         finally:
             if status is not None:
                 status.finish()
@@ -766,6 +1032,113 @@ def _cmd_audit(args) -> int:
     else:
         print(report.summary())
     return 0 if report.ok else 2
+
+
+def _cmd_shard(args) -> int:
+    from .cache import ShardError
+
+    if args.shard_command == "plan":
+        return _cmd_shard_plan(args)
+    try:
+        return _cmd_shard_merge(args)
+    except ShardError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_shard_plan(args) -> int:
+    from .batch.journal import campaign_fingerprint
+    from .cache import ShardError, build_plan
+    from .curves import backend as _backend
+    from .ioutil import write_json_atomic
+
+    try:
+        items = _parse_batch_items(args.input, args.method)
+    except _ItemParseError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    options = _options_from_args(args)
+    digests = _item_digests(items, options)
+    backend = (
+        options.backend
+        if options is not None and options.backend is not None
+        else _backend.active_backend_name()
+    )
+    fingerprint = campaign_fingerprint(
+        digests, audit=args.audit, backend=backend
+    )
+    try:
+        plan = build_plan(
+            [it.item_id for it in items], digests, args.shards, fingerprint
+        )
+    except ShardError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    write_json_atomic(args.out, plan)
+    per_shard = [
+        sum(1 for e in plan["items"] if e["shard"] == s)
+        for s in range(args.shards)
+    ]
+    print(
+        f"shard plan: {len(items)} items -> {args.shards} shards "
+        f"({'/'.join(str(n) for n in per_shard)}) -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_shard_merge(args) -> int:
+    from .cache import load_plan, merge_journals, merge_records, merge_status
+
+    plan = load_plan(args.plan)
+    did_anything = False
+    if args.records:
+        lines = merge_records(plan, args.records)
+        text = "".join(line + "\n" for line in lines)
+        if args.out and args.out != "-":
+            from .ioutil import write_text_atomic
+
+            write_text_atomic(args.out, text)
+            print(f"records: {len(lines)} -> {args.out}", file=sys.stderr)
+        else:
+            sys.stdout.write(text)
+        did_anything = True
+    if args.journals:
+        if not args.journal_out:
+            print("error: --journals requires --journal-out", file=sys.stderr)
+            return 2
+        n = merge_journals(plan, args.journals, args.journal_out)
+        print(f"journal: {n} entries -> {args.journal_out}", file=sys.stderr)
+        did_anything = True
+    if args.status_files:
+        merged = merge_status(args.status_files, out_path=args.status_out)
+        if args.status_out:
+            print(f"status: {len(args.status_files)} shards -> "
+                  f"{args.status_out}", file=sys.stderr)
+        if args.metrics_out:
+            from .obs.export import write_prometheus
+
+            if "metrics" not in merged:
+                print(
+                    "error: --metrics-out requires status files with "
+                    "embedded metrics (run shards with --metrics-out)",
+                    file=sys.stderr,
+                )
+                return 2
+            write_prometheus(args.metrics_out, merged["metrics"])
+            print(f"metrics -> {args.metrics_out}", file=sys.stderr)
+        did_anything = True
+    elif args.metrics_out:
+        print("error: --metrics-out requires --status", file=sys.stderr)
+        return 2
+    if not did_anything:
+        print(
+            "error: nothing to merge (pass --records, --journals and/or "
+            "--status)",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
 
 
 def _cmd_chaos(args) -> int:
@@ -814,6 +1187,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "figures": _cmd_figures,
         "batch": _cmd_batch,
+        "shard": _cmd_shard,
         "chaos": _cmd_chaos,
         "audit": _cmd_audit,
         "trace": _cmd_trace,

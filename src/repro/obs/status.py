@@ -96,6 +96,7 @@ class StatusWriter:
         self.retried = 0
         self.quarantined = 0
         self.resumed = 0
+        self.cached = 0
         self.state = "starting"
         self._journal: Optional[Any] = None
         self._workers: Dict[int, float] = {}
@@ -129,6 +130,7 @@ class StatusWriter:
         status: str,
         resumed: bool = False,
         retried: bool = False,
+        cached: bool = False,
     ) -> None:
         """Count one finished item and maybe publish."""
         now = time.monotonic()
@@ -140,11 +142,13 @@ class StatusWriter:
             self.quarantined += 1
         if resumed:
             self.resumed += 1
+        elif cached:
+            self.cached += 1
         elif retried:
             self.retried += 1
-        if not resumed:
-            # EWMA over inter-completion gaps; resumed items are replayed
-            # from the journal in one burst and would skew the rate.
+        if not resumed and not cached:
+            # EWMA over inter-completion gaps; resumed/cached items are
+            # replayed in one burst and would skew the rate.
             if self._last_done_mono is not None:
                 dt = max(1e-9, now - self._last_done_mono)
                 if self._ewma_dt is None:
@@ -204,6 +208,7 @@ class StatusWriter:
             "retried": self.retried,
             "quarantined": self.quarantined,
             "resumed": self.resumed,
+            "cached": self.cached,
             "by_status": dict(sorted(self.by_status.items())),
             "throughput": self.throughput(),
             "eta_seconds": self.eta_seconds(),

@@ -1,0 +1,125 @@
+"""Tests for the curve-kernel disk spill tier (repro.cache.spill)."""
+
+import json
+
+import pytest
+
+from repro.cache import CurveSpill, DiskCacheStore
+from repro.curves import (
+    Curve,
+    CurveCache,
+    curve_cache,
+    disable_curve_cache,
+    service_transform,
+    sum_curves,
+)
+from repro.curves.memo import _curve_token
+
+
+@pytest.fixture(autouse=True)
+def _no_global_cache():
+    disable_curve_cache()
+    yield
+    disable_curve_cache()
+
+
+def _spill(tmp_path):
+    return CurveSpill(DiskCacheStore(tmp_path / "cache"))
+
+
+def _sample_curve():
+    return Curve.from_token_bucket(rate=0.75, burst=2.5)
+
+
+class TestRoundtrip:
+    def test_save_load_bit_identical(self, tmp_path):
+        spill = _spill(tmp_path)
+        curve = _sample_curve()
+        key = _curve_token(curve)
+        spill.save(key, curve)
+        clone = spill.load(key)
+        assert clone is not None
+        assert clone.final_slope == curve.final_slope
+        # The memo token digests the breakpoint arrays bit-for-bit.
+        assert _curve_token(clone) == key
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert _spill(tmp_path).load(b"\x01" * 16) is None
+
+    def test_non_curve_values_not_spilled(self, tmp_path):
+        spill = _spill(tmp_path)
+        spill.save(b"\x02" * 16, {"not": "a curve"})
+        assert spill.store.stats()["writes"] == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        spill = _spill(tmp_path)
+        curve = _sample_curve()
+        key = _curve_token(curve)
+        spill.save(key, curve)
+        path = spill.store.path_for("curves", key.hex())
+        with open(path, "r+b") as fh:
+            fh.seek(20)
+            fh.write(b"\xa5\xa5\xa5")
+        assert spill.load(key) is None
+
+    def test_token_mismatch_is_a_miss(self, tmp_path):
+        # A valid envelope whose body decodes to a *different* curve than
+        # the one stored (serialization drift) must miss, not lie.
+        spill = _spill(tmp_path)
+        curve = _sample_curve()
+        key = _curve_token(curve)
+        spill.save(key, curve)
+        path = spill.store.path_for("curves", key.hex())
+        with open(path, "r", encoding="utf-8") as fh:
+            entry = json.load(fh)
+        body = entry["b"]
+        body["t"] = "00" * 16
+        spill.store.put("curves", key.hex(), body)  # rewrites a valid CRC
+        assert spill.load(key) is None
+
+
+class TestCacheIntegration:
+    def test_disk_hit_after_memory_loss(self, tmp_path):
+        spill = _spill(tmp_path)
+        a = Curve.step_from_times([1.0, 3.0, 7.0])
+        b = Curve.from_token_bucket(rate=0.5, burst=1.0)
+
+        with curve_cache(cache=CurveCache(64, spill=spill)) as cache:
+            first = sum_curves([a, b])
+            assert cache.disk_hits == 0
+            cache.clear()  # simulate a new process over the same cache dir
+            again = sum_curves([a, b])
+            assert cache.disk_hits == 1
+            assert _curve_token(again) == _curve_token(first)
+
+    def test_fresh_cache_same_dir_hits_disk(self, tmp_path):
+        a = Curve.step_from_times([1.0, 2.0, 5.0, 9.0])
+        svc = Curve.affine(1.0)
+        with curve_cache(cache=CurveCache(64, spill=_spill(tmp_path))):
+            first = service_transform(svc, a)
+        with curve_cache(cache=CurveCache(64, spill=_spill(tmp_path))) as c2:
+            second = service_transform(svc, a)
+            assert c2.disk_hits == 1 and c2.hits == 1
+        assert _curve_token(second) == _curve_token(first)
+
+    def test_disk_counters_only_with_spill(self, tmp_path):
+        plain = CurveCache(8).stats().to_dict()
+        assert "disk_hits" not in plain and "disk_misses" not in plain
+        spilled = CurveCache(8, spill=_spill(tmp_path)).stats().to_dict()
+        assert spilled["disk_hits"] == 0 and spilled["disk_misses"] == 0
+
+    def test_disk_miss_counted_once_per_lookup(self, tmp_path):
+        cache = CurveCache(8, spill=_spill(tmp_path))
+        assert cache.get(b"\x03" * 16) is None
+        assert cache.misses == 1 and cache.disk_misses == 1
+
+    def test_promotion_skips_write_back(self, tmp_path):
+        spill = _spill(tmp_path)
+        curve = _sample_curve()
+        key = _curve_token(curve)
+        cache = CurveCache(8, spill=spill)
+        cache.put(key, curve)
+        assert spill.store.stats()["writes"] == 1
+        cache.clear()
+        assert cache.get(key) is not None  # promoted from disk...
+        assert spill.store.stats()["writes"] == 1  # ...without rewriting

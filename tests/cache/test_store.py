@@ -1,0 +1,153 @@
+"""Tests for the content-addressed disk store (repro.cache.store)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cache import CACHE_SCHEMA_VERSION, DiskCacheStore
+from repro.obs import metrics as obs_metrics
+
+DIGEST = "ab" * 16
+OTHER = "cd" * 16
+
+
+class TestRoundtrip:
+    def test_put_get(self, tmp_path):
+        store = DiskCacheStore(tmp_path / "cache")
+        body = {"answer": 42, "curve": [0.0, 1.5], "nested": {"k": None}}
+        assert store.put("results", DIGEST, body)
+        assert store.get("results", DIGEST) == body
+        assert store.stats() == {"hits": 1, "misses": 0, "writes": 1,
+                                 "corrupt": 0}
+
+    def test_missing_is_a_counted_miss(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        assert store.get("results", DIGEST) is None
+        assert store.stats()["misses"] == 1
+
+    def test_kinds_are_namespaced(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put("results", DIGEST, {"a": 1})
+        assert store.get("curves", DIGEST) is None
+
+    def test_last_writer_wins(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put("results", DIGEST, {"gen": 1})
+        store.put("results", DIGEST, {"gen": 2})
+        assert store.get("results", DIGEST) == {"gen": 2}
+
+    def test_fanout_layout(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        path = store.path_for("curves", DIGEST)
+        assert path == os.path.join(
+            str(tmp_path), "curves", DIGEST[:2], DIGEST + ".json"
+        )
+
+    @pytest.mark.parametrize("bad", ["", "a/b", "a\\b", "..", "x.json"])
+    def test_digest_cannot_escape_the_root(self, tmp_path, bad):
+        with pytest.raises(ValueError):
+            DiskCacheStore(tmp_path).path_for("results", bad)
+
+
+class TestCorruption:
+    def _entry_path(self, store):
+        return store.path_for("results", DIGEST)
+
+    def test_flipped_bytes_recompute_not_propagate(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put("results", DIGEST, {"value": 1234})
+        path = self._entry_path(store)
+        with open(path, "r+b") as fh:
+            raw = fh.read()
+            fh.seek(len(raw) // 2)
+            fh.write(b"\x00\x00\x00")
+        assert store.get("results", DIGEST) is None
+        assert store.stats()["corrupt"] == 1
+        assert store.stats()["misses"] == 1
+        assert not os.path.exists(path)  # damaged entry is cleaned up
+
+    def test_invalid_utf8_is_corruption_not_an_exception(self, tmp_path):
+        # Regression: XOR-style tampering can break the UTF-8 encoding
+        # itself; that must read as a miss, never raise into the caller.
+        store = DiskCacheStore(tmp_path)
+        store.put("results", DIGEST, {"value": 5})
+        path = self._entry_path(store)
+        with open(path, "r+b") as fh:
+            raw = fh.read()
+            fh.seek(len(raw) // 2)
+            fh.write(bytes(b ^ 0xA5 for b in raw[len(raw) // 2:][:3]))
+        assert store.get("results", DIGEST) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_truncated_entry(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put("results", DIGEST, {"value": [1, 2, 3]})
+        path = self._entry_path(store)
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 5)
+        assert store.get("results", DIGEST) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_foreign_json_rejected(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        path = self._entry_path(store)
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"some": "other file"}, fh)
+        assert store.get("results", DIGEST) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_wrong_kind_or_digest_rejected(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put("curves", OTHER, {"v": 1})
+        # Copy a valid curves entry to a results path: self-describing
+        # envelope catches the relocation even though the CRC is intact.
+        src = store.path_for("curves", OTHER)
+        dst = store.path_for("results", DIGEST)
+        os.makedirs(os.path.dirname(dst))
+        with open(src, "rb") as fh:
+            data = fh.read()
+        with open(dst, "wb") as fh:
+            fh.write(data)
+        assert store.get("results", DIGEST) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put("results", DIGEST, {"v": 1})
+        path = self._entry_path(store)
+        with open(path, "r", encoding="utf-8") as fh:
+            entry = json.load(fh)
+        entry["v"] = CACHE_SCHEMA_VERSION + 1
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh)
+        assert store.get("results", DIGEST) is None
+
+    def test_corruption_increments_metric(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put("results", DIGEST, {"v": 1})
+        with open(self._entry_path(store), "r+b") as fh:
+            fh.seek(10)
+            fh.write(b"\xff\xff")
+        with obs_metrics.metrics() as registry:
+            assert store.get("results", DIGEST) is None
+            counters = registry.snapshot()["counters"]
+        label = '{tier="results"}'
+        assert counters["repro_cache_corrupt_total"][label] == 1
+        assert counters["repro_cache_misses_total"][label] == 1
+
+
+class TestDegradation:
+    def test_unwritable_root_degrades_to_uncached(self, tmp_path):
+        blocker = tmp_path / "flat"
+        blocker.write_text("not a directory")
+        store = DiskCacheStore(blocker)
+        assert store.put("results", DIGEST, {"v": 1}) is False
+        assert store.get("results", DIGEST) is None
+        assert store.stats()["writes"] == 0
+
+    def test_unencodable_body_fails_put_only(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        assert store.put("results", DIGEST, {"bad": float("nan")}) is False
+        assert store.get("results", DIGEST) is None

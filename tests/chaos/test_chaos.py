@@ -15,6 +15,7 @@ from repro.chaos import (
     generate_campaign,
     normalize_record,
     run_chaos,
+    tamper_cache_entries,
     truncate_journal_tail,
 )
 from repro.model.io import system_from_dict
@@ -127,6 +128,40 @@ class TestTamperHelpers:
         assert len(entries) == len(items) and good == total
 
 
+class TestCacheTamper:
+    def _populated_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        items = [
+            BatchItem(system_from_dict(e["system"]), item_id=e["id"])
+            for e in generate_campaign(6, seed=13)
+        ]
+        BatchEngine(cache_dir=cache_dir).run(items)
+        return cache_dir, items
+
+    def test_selection_is_deterministic(self, tmp_path):
+        cache_dir, _items = self._populated_cache(tmp_path)
+        first = tamper_cache_entries(cache_dir, seed=5, fraction=0.5)
+        second = tamper_cache_entries(cache_dir, seed=5, fraction=0.5)
+        assert first == second > 0  # same files picked both times
+
+    def test_fraction_bounds(self, tmp_path):
+        with pytest.raises(ValueError):
+            tamper_cache_entries(str(tmp_path), fraction=1.5)
+        assert tamper_cache_entries(str(tmp_path), fraction=0.0) == 0
+
+    def test_tampered_cache_recomputes_never_propagates(self, tmp_path):
+        cache_dir, items = self._populated_cache(tmp_path)
+        baseline = BatchEngine().run(items)
+        tampered = tamper_cache_entries(cache_dir, seed=1, fraction=1.0)
+        assert tampered > 0
+        warm = BatchEngine(cache_dir=cache_dir).run(items)
+        assert warm.n_cached == 0  # every result entry failed its CRC
+        assert warm.n_ok == len(items)
+        a = [normalize_record(r.to_dict()) for r in baseline]
+        b = [normalize_record(r.to_dict()) for r in warm]
+        assert a == b
+
+
 class TestNormalize:
     def test_strips_run_dependent_fields_only(self):
         rec = {
@@ -195,3 +230,24 @@ class TestEndToEnd:
         )
         payload = json.loads(json.dumps(report.to_dict(), allow_nan=False))
         assert payload["ok"] is True
+
+    def test_chaos_with_persistent_cache_passes(self, tmp_path):
+        # The harness tampers the cache after the first kill: the final
+        # outcome must still equal the (uncached) baseline campaign.
+        config = ChaosConfig(
+            n_items=8,
+            seed=3,
+            workers=2,
+            kill_points=(3,),
+            tamper="truncate",
+            error_rate=0.1,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        report = run_chaos(config, str(tmp_path / "chaos.wal"))
+        assert report.ok, report.summary()
+        tampered = [
+            s.get("cache_tampered")
+            for s in report.stages
+            if "cache_tampered" in s
+        ]
+        assert tampered and tampered[0] > 0
